@@ -1,0 +1,24 @@
+// Shared harness glue for the experiment benchmarks.
+//
+// Every bench binary first prints its paper-shaped report (the rows a figure
+// or theorem in the paper corresponds to), then runs its google-benchmark
+// microbenchmarks. EXPERIMENTS.md records the printed reports against the
+// paper's claims.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/kstable.hpp"
+
+/// Defines main(): print the report, then run registered benchmarks.
+#define KSTABLE_BENCH_MAIN(report_fn)                                   \
+  int main(int argc, char** argv) {                                     \
+    report_fn();                                                        \
+    benchmark::Initialize(&argc, argv);                                 \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    benchmark::RunSpecifiedBenchmarks();                                \
+    benchmark::Shutdown();                                              \
+    return 0;                                                           \
+  }

@@ -1,0 +1,96 @@
+// E10 — §III.B: the two phases of the stable-roommates solver at scale.
+//
+// Regenerated series:
+//  * solvability rate of uniform random complete roommates instances vs n
+//    (known to decay slowly — roughly ~ 1/sqrt-ish shape; the paper uses the
+//    solver as a subroutine, so its cost profile matters);
+//  * phase-1 proposals vs phase-2 rotation eliminations and pair deletions;
+//  * solve() wall time scaling.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kstable;
+
+rm::RoommatesInstance random_complete(rm::Person n, Rng& rng) {
+  std::vector<std::vector<rm::Person>> lists(static_cast<std::size_t>(n));
+  for (rm::Person p = 0; p < n; ++p) {
+    for (rm::Person q = 0; q < n; ++q) {
+      if (q != p) lists[static_cast<std::size_t>(p)].push_back(q);
+    }
+    rng.shuffle(lists[static_cast<std::size_t>(p)]);
+  }
+  return rm::RoommatesInstance(std::move(lists));
+}
+
+void report() {
+  std::cout << "E10: stable-roommates phases at scale (§III.B substrate)\n\n";
+  TableWriter table(
+      "Random complete roommates instances (100 seeds per n)",
+      {"n", "solvable %", "phase-1 proposals avg", "rotations avg",
+       "deletions avg"});
+  for (const rm::Person n : {10, 20, 40, 80, 160}) {
+    int solvable = 0;
+    double proposals = 0, rotations = 0, deletions = 0;
+    const int seeds = 100;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 101 + static_cast<std::uint64_t>(n));
+      const auto inst = random_complete(n, rng);
+      const auto result = rm::solve(inst);
+      solvable += result.has_stable;
+      proposals += static_cast<double>(result.phase1_proposals);
+      rotations += static_cast<double>(result.rotations_eliminated);
+      deletions += static_cast<double>(result.pair_deletions);
+    }
+    table.add_row({std::int64_t{n}, 100.0 * solvable / seeds,
+                   proposals / seeds, rotations / seeds, deletions / seeds});
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: solvability decays as n grows (classic "
+               "roommates result); work grows ~ n log n on average.\n\n";
+}
+
+void bm_solve_complete(benchmark::State& state) {
+  const auto n = static_cast<rm::Person>(state.range(0));
+  Rng rng(101);
+  const auto inst = random_complete(n, rng);
+  for (auto _ : state) {
+    const auto result = rm::solve(inst);
+    benchmark::DoNotOptimize(result.has_stable);
+  }
+}
+BENCHMARK(bm_solve_complete)->RangeMultiplier(2)->Range(32, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_phase1_only(benchmark::State& state) {
+  const auto n = static_cast<rm::Person>(state.range(0));
+  Rng rng(102);
+  const auto inst = random_complete(n, rng);
+  for (auto _ : state) {
+    rm::ReductionTable table(inst);
+    std::int64_t proposals = 0;
+    rm::Person failed = -1;
+    benchmark::DoNotOptimize(rm::run_phase1(table, proposals, failed));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(bm_phase1_only)->RangeMultiplier(2)->Range(32, 1024)->Complexity()
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_kpartite_linearize(benchmark::State& state) {
+  const auto k = static_cast<Gender>(state.range(0));
+  Rng rng(103);
+  const auto inst = gen::uniform(k, 64, rng);
+  for (auto _ : state) {
+    const auto rm_inst = rm::to_roommates(inst, rm::Linearization::round_robin);
+    benchmark::DoNotOptimize(rm_inst.entry_count());
+  }
+  state.SetLabel("build incomplete-list instance");
+}
+BENCHMARK(bm_kpartite_linearize)->Arg(3)->Arg(5)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KSTABLE_BENCH_MAIN(report)

@@ -1,0 +1,94 @@
+// E11 — §VII future work: quorum-based relaxation of the unstable condition.
+//
+// Regenerated series (our formalization; the paper only sketches the
+// direction):
+//  * the census of q-stable k-ary matchings grows monotonically with q and
+//    meets the strict (§IV.A) count at q = 1;
+//  * Algorithm 1's matching is guaranteed stable at q = 1 (Theorem 2) but is
+//    blocked with increasing probability as the quorum drops — quantifying
+//    how much stronger a guarantee the weakened models demand;
+//  * the star-at-imax binding resists low-quorum blocking better than a path
+//    tree (more members are bound directly to a hub they cannot improve on).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kstable;
+
+void report() {
+  std::cout << "E11: quorum-relaxed stability (§VII future work)\n\n";
+
+  {
+    Rng rng(111);
+    const auto inst = gen::uniform(3, 3, rng);
+    const std::vector<double> quorums{0.2, 0.34, 0.5, 0.67, 1.0};
+    const auto stable = analysis::quorum_stable_census(inst, quorums);
+    TableWriter census("q-stable census over all 36 ternary matchings "
+                       "(k=3, n=3, one instance)",
+                       {"quorum", "q-stable matchings"});
+    for (std::size_t i = 0; i < quorums.size(); ++i) {
+      census.add_row({quorums[i], stable[i]});
+    }
+    census.print(std::cout);
+  }
+
+  TableWriter rates(
+      "Blocked-rate of Algorithm 1 matchings vs quorum (k=4, n=4, 40 seeds, "
+      "exhaustive tuple search)",
+      {"quorum", "path tree blocked %", "star@imax blocked %"});
+  for (const double q : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    int path_blocked = 0;
+    int star_blocked = 0;
+    const int seeds = 40;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 211 + 17);
+      const auto inst = gen::uniform(4, 4, rng);
+      const auto path_result = core::iterative_binding(inst, trees::path(4));
+      path_blocked += analysis::find_quorum_blocking_family(
+                          inst, path_result.matching(), q)
+                          .has_value();
+      const auto star_result =
+          core::iterative_binding(inst, trees::star(4, 3));
+      star_blocked += analysis::find_quorum_blocking_family(
+                          inst, star_result.matching(), q)
+                          .has_value();
+    }
+    rates.add_row({q, 100.0 * path_blocked / seeds,
+                   100.0 * star_blocked / seeds});
+  }
+  rates.print(std::cout);
+  std::cout << "Expected: 0% blocked at q=1 for both trees (Theorem 2); "
+               "blocked-rate rises as the quorum drops.\n\n";
+}
+
+void bm_quorum_exhaustive(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(112);
+  const auto inst = gen::uniform(3, n, rng);
+  const auto result = core::iterative_binding(inst, trees::path(3));
+  for (auto _ : state) {
+    const auto witness =
+        analysis::find_quorum_blocking_family(inst, result.matching(), 0.5);
+    benchmark::DoNotOptimize(witness.has_value());
+  }
+}
+BENCHMARK(bm_quorum_exhaustive)->Arg(3)->Arg(5)->Arg(8);
+
+void bm_quorum_sampled(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(113);
+  const auto inst = gen::uniform(4, n, rng);
+  const auto result = core::iterative_binding(inst, trees::path(4));
+  Rng probe(114);
+  for (auto _ : state) {
+    const auto witness = analysis::find_quorum_blocking_family_sampled(
+        inst, result.matching(), 0.5, probe, 1000);
+    benchmark::DoNotOptimize(witness.has_value());
+  }
+}
+BENCHMARK(bm_quorum_sampled)->Arg(64)->Arg(256);
+
+}  // namespace
+
+KSTABLE_BENCH_MAIN(report)

@@ -1,0 +1,214 @@
+// E15 — §IV.B ablation: does the choice among the k^(k-2) binding trees
+// matter, and can it be optimized?
+//
+// The paper observes that different binding trees generate different stable
+// k-ary matchings but leaves tree choice open. This ablation compares path /
+// star / random / cost-aware (Kruskal over per-pair GS probe costs) trees on
+// bound-pair cost, all-pairs cost, and regret, across preference families
+// (uniform / popularity-correlated / euclidean / tiered). The probe phase
+// doubles the proposal budget — the table reports that overhead too.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+#include "core/oriented_binding.hpp"
+#include "core/tree_selection.hpp"
+
+namespace {
+
+using namespace kstable;
+
+void report() {
+  std::cout << "E15: binding-tree selection ablation (§IV.B)\n\n";
+
+  const Gender k = 6;
+  const Index n = 64;
+  const int seeds = 10;
+
+  for (const auto& [family, make] :
+       std::vector<std::pair<std::string,
+                             KPartiteInstance (*)(Gender, Index, Rng&)>>{
+           {"uniform",
+            +[](Gender kk, Index nn, Rng& r) { return gen::uniform(kk, nn, r); }},
+           {"popularity(0.5)",
+            +[](Gender kk, Index nn, Rng& r) {
+              return gen::popularity(kk, nn, r, 0.5);
+            }},
+           {"euclidean(2d)",
+            +[](Gender kk, Index nn, Rng& r) {
+              return gen::euclidean(kk, nn, 2, r);
+            }},
+           {"tiered(4)",
+            +[](Gender kk, Index nn, Rng& r) {
+              return gen::tiered(kk, nn, 4, r);
+            }}}) {
+    TableWriter table("Tree ablation on " + family + " preferences (k=6, "
+                          "n=64, 10 seeds avg)",
+                      {"tree", "bound-pair cost", "all-pairs cost", "regret",
+                       "proposals"});
+    struct Acc {
+      double bound = 0, all = 0, regret = 0, proposals = 0;
+    };
+    Acc path_acc, star_acc, random_acc, min_acc, max_acc;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 389 + 7);
+      const auto inst = make(k, n, rng);
+      auto run = [&](Acc& acc, const BindingStructure& tree,
+                     std::int64_t extra_proposals) {
+        const auto result = core::iterative_binding(inst, tree);
+        acc.bound += static_cast<double>(
+            analysis::kary_tree_costs(inst, result.matching(), tree).total_cost);
+        const auto all = analysis::kary_costs(inst, result.matching());
+        acc.all += static_cast<double>(all.total_cost);
+        acc.regret += all.regret;
+        acc.proposals +=
+            static_cast<double>(result.total_proposals + extra_proposals);
+      };
+      run(path_acc, trees::path(k), 0);
+      run(star_acc, trees::star(k, 0), 0);
+      Rng tree_rng(static_cast<std::uint64_t>(seed) + 1);
+      run(random_acc, prufer::random_tree(k, tree_rng), 0);
+      // Cost-aware trees pay for the probes: k(k-1)/2 GS runs.
+      const auto probes = core::probe_all_pairs(inst);
+      std::int64_t probe_cost = 0;
+      for (const auto& probe : probes) probe_cost += probe.proposals;
+      run(min_acc, core::select_tree(inst, core::TreeObjective::min_cost),
+          probe_cost);
+      run(max_acc, core::select_tree(inst, core::TreeObjective::max_cost),
+          probe_cost);
+    }
+    auto row = [&](const char* name, const Acc& acc) {
+      table.add_row({std::string(name), acc.bound / seeds, acc.all / seeds,
+                     acc.regret / seeds, acc.proposals / seeds});
+    };
+    row("path", path_acc);
+    row("star(0)", star_acc);
+    row("random", random_acc);
+    row("cost-aware min", min_acc);
+    row("cost-aware max (control)", max_acc);
+    table.print(std::cout);
+  }
+  std::cout << "Reading: 'bound-pair cost' is what binding optimizes; "
+               "'all-pairs cost' includes the unbound cross pairs that no "
+               "tree controls.\n\n";
+
+  // Orientation ablation: each binding edge has a proposer and a responder
+  // ("a proposer (a man in the G-S algorithm) to a responder (a woman)",
+  // §IV.B) — GS favors the proposer, so edge orientation shifts cost between
+  // genders even on the same tree.
+  TableWriter orient("Edge-orientation ablation on the path tree (k=4, n=64, "
+                     "uniform, 10 seeds avg of per-gender costs)",
+                     {"orientation", "g0 cost", "g1 cost", "g2 cost",
+                      "g3 cost"});
+  std::vector<double> fwd(4, 0.0), rev(4, 0.0);
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 911 + 3);
+    const auto inst = gen::uniform(4, n, rng);
+    BindingStructure forward(4);   // lower gender proposes
+    BindingStructure backward(4);  // higher gender proposes
+    for (Gender g = 0; g + 1 < 4; ++g) {
+      forward.add_edge({g, static_cast<Gender>(g + 1)});
+      backward.add_edge({static_cast<Gender>(g + 1), g});
+    }
+    const auto f = core::iterative_binding(inst, forward);
+    const auto b = core::iterative_binding(inst, backward);
+    const auto fc = analysis::kary_tree_costs(inst, f.matching(), forward);
+    const auto bc = analysis::kary_tree_costs(inst, b.matching(), backward);
+    for (Gender g = 0; g < 4; ++g) {
+      fwd[static_cast<std::size_t>(g)] +=
+          static_cast<double>(fc.per_gender_cost[static_cast<std::size_t>(g)]);
+      rev[static_cast<std::size_t>(g)] +=
+          static_cast<double>(bc.per_gender_cost[static_cast<std::size_t>(g)]);
+    }
+  }
+  orient.add_row({std::string("low gender proposes"), fwd[0] / seeds,
+                  fwd[1] / seeds, fwd[2] / seeds, fwd[3] / seeds});
+  orient.add_row({std::string("high gender proposes"), rev[0] / seeds,
+                  rev[1] / seeds, rev[2] / seeds, rev[3] / seeds});
+  orient.print(std::cout);
+  std::cout << "Shape: the proposer side of each edge is happier (lower "
+               "cost); flipping orientations flips the asymmetry.\n\n";
+
+  // Orientation POLICIES: can choosing proposers dynamically even out the
+  // per-gender costs? (core::oriented_binding)
+  TableWriter policies("Orientation policies on the star tree (k=6, n=64, "
+                       "uniform, 10 seeds avg; star center proposes "
+                       "everywhere under 'as given')",
+                       {"policy", "max gender cost", "min gender cost",
+                        "spread"});
+  double fixed_hi = 0, fixed_lo = 0, rev_hi = 0, rev_lo = 0, alt_hi = 0,
+         alt_lo = 0, bal_hi = 0, bal_lo = 0;
+  // Reversed star: every leaf proposes to the center.
+  BindingStructure reversed_star(6);
+  for (Gender g = 1; g < 6; ++g) reversed_star.add_edge({g, 0});
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 613 + 29);
+    const auto inst = gen::uniform(6, 64, rng);
+    auto run = [&](const BindingStructure& tree,
+                   core::OrientationPolicy policy, double& hi, double& lo) {
+      const auto result = core::oriented_binding(inst, tree, policy);
+      const auto [mn, mx] = std::minmax_element(result.gender_cost.begin(),
+                                                result.gender_cost.end());
+      hi += static_cast<double>(*mx);
+      lo += static_cast<double>(*mn);
+    };
+    run(trees::star(6, 0), core::OrientationPolicy::as_given, fixed_hi,
+        fixed_lo);
+    run(reversed_star, core::OrientationPolicy::as_given, rev_hi, rev_lo);
+    run(trees::star(6, 0), core::OrientationPolicy::alternate, alt_hi, alt_lo);
+    // balance_greedy repairs even the bad starting orientation.
+    run(reversed_star, core::OrientationPolicy::balance_greedy, bal_hi,
+        bal_lo);
+  }
+  policies.add_row({std::string("center proposes (as given)"),
+                    fixed_hi / seeds, fixed_lo / seeds,
+                    (fixed_hi - fixed_lo) / seeds});
+  policies.add_row({std::string("leaves propose (reversed)"), rev_hi / seeds,
+                    rev_lo / seeds, (rev_hi - rev_lo) / seeds});
+  policies.add_row({std::string("alternate"), alt_hi / seeds, alt_lo / seeds,
+                    (alt_hi - alt_lo) / seeds});
+  policies.add_row({std::string("balance greedy (from reversed)"),
+                    bal_hi / seeds, bal_lo / seeds,
+                    (bal_hi - bal_lo) / seeds});
+  policies.print(std::cout);
+}
+
+void bm_probe_all_pairs(benchmark::State& state) {
+  const auto k = static_cast<Gender>(state.range(0));
+  Rng rng(151);
+  const auto inst = gen::uniform(k, 64, rng);
+  for (auto _ : state) {
+    const auto probes = core::probe_all_pairs(inst);
+    benchmark::DoNotOptimize(probes.size());
+  }
+}
+BENCHMARK(bm_probe_all_pairs)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void bm_cost_aware_binding(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(152);
+  const auto inst = gen::uniform(6, n, rng);
+  for (auto _ : state) {
+    const auto result =
+        core::cost_aware_binding(inst, core::TreeObjective::min_cost);
+    benchmark::DoNotOptimize(result.total_proposals);
+  }
+}
+BENCHMARK(bm_cost_aware_binding)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_generator_euclidean(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(153);
+  for (auto _ : state) {
+    const auto inst = gen::euclidean(4, n, 2, rng);
+    benchmark::DoNotOptimize(inst.total_members());
+  }
+}
+BENCHMARK(bm_generator_euclidean)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KSTABLE_BENCH_MAIN(report)

@@ -1,0 +1,85 @@
+// E16 — the paper's §I framing, quantified: objective-based matching
+// (maximum-weight / minimum-cost assignment, the paper's reference [1])
+// versus stability-based matching.
+//
+// Series:
+//  * egalitarian cost of the min-cost assignment (Hungarian) vs GS vs the
+//    egalitarian-OPTIMAL STABLE matching (lattice) — the "price of
+//    stability" in rank cost;
+//  * blocking pairs the cost-optimal assignment accepts (GS: always 0).
+
+#include "bench_common.hpp"
+
+#include "analysis/assignment.hpp"
+
+namespace {
+
+using namespace kstable;
+
+void report() {
+  std::cout << "E16: price of stability — assignment vs stable matching\n\n";
+
+  TableWriter table("Egalitarian cost and instability (uniform, 20 seeds avg)",
+                    {"n", "optimal assignment", "best stable (lattice)",
+                     "GS (men propose)", "stability price %",
+                     "blocking pairs (optimal)"});
+  for (const Index n : {8, 16, 32, 64}) {
+    double opt_cost = 0, stable_cost = 0, gs_cost = 0, blocking = 0;
+    const int seeds = 20;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 431 + n);
+      const auto inst = gen::uniform(2, n, rng);
+      const auto optimal = analysis::egalitarian_assignment(inst, 0, 1);
+      opt_cost += static_cast<double>(
+          analysis::bipartite_costs(inst, 0, 1, optimal).egalitarian());
+      blocking += static_cast<double>(
+          analysis::count_blocking_pairs(inst, 0, 1, optimal));
+      const auto lattice = rm::enumerate_stable_matchings(inst, 0, 1);
+      stable_cost += static_cast<double>(
+          rm::egalitarian_optimal(inst, 0, 1, lattice).value);
+      const auto gs_result = gs::gale_shapley_queue(inst, 0, 1);
+      gs_cost += static_cast<double>(
+          analysis::bipartite_costs(inst, 0, 1, gs_result.proposer_match)
+              .egalitarian());
+    }
+    table.add_row({std::int64_t{n}, opt_cost / seeds, stable_cost / seeds,
+                   gs_cost / seeds,
+                   100.0 * (stable_cost - opt_cost) / std::max(opt_cost, 1.0),
+                   blocking / seeds});
+  }
+  table.print(std::cout);
+  std::cout << "Reading: stability costs a few percent of total utility over "
+               "the unconstrained optimum, and the optimum is not blocking-"
+               "free — the tradeoff the paper's introduction frames.\n\n";
+}
+
+void bm_hungarian(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(161);
+  const auto inst = gen::uniform(2, n, rng);
+  const auto cost = analysis::egalitarian_cost_matrix(inst, 0, 1);
+  for (auto _ : state) {
+    const auto assignment = analysis::min_cost_assignment(cost, n);
+    benchmark::DoNotOptimize(assignment.data());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(bm_hungarian)->RangeMultiplier(2)->Range(16, 256)->Complexity()
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_blocking_pair_count(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(162);
+  const auto inst = gen::uniform(2, n, rng);
+  const auto optimal = analysis::egalitarian_assignment(inst, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::count_blocking_pairs(inst, 0, 1, optimal));
+  }
+}
+BENCHMARK(bm_blocking_pair_count)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KSTABLE_BENCH_MAIN(report)

@@ -1,0 +1,249 @@
+// kmatch: a small command-line front-end to the kstable library.
+//
+// Usage:
+//   kmatch gen   <k> <n> <seed> <file>       write a random instance
+//   kmatch kary  <file> [tree]               stable k-ary matching (Algorithm 1)
+//                                            tree: path | star | random | priority
+//   kmatch binary <file> [lin]               stable binary matching via the
+//                                            roommates solver; lin: rr | blocks
+//   kmatch roommates <file>                  solve a roommates-format instance
+//   kmatch coalitions <file> <c>             super-gender coalitions of group
+//                                            size c (k' must be divisible by c)
+//   kmatch info  <file>                      print instance dimensions
+//
+// Exit code 0 on success, 1 on "no stable matching", 2 on usage errors.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/kstable.hpp"
+
+namespace {
+
+using namespace kstable;
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  kmatch gen <k> <n> <seed> <file>\n"
+               "  kmatch kary <file> [path|star|random|priority]\n"
+               "  kmatch binary <file> [rr|blocks]\n"
+               "  kmatch roommates <file>\n"
+               "  kmatch coalitions <file> <group size>\n"
+               "  kmatch example [<name> <file>]   (no args: list catalog)\n"
+               "  kmatch stats <file>\n"
+               "  kmatch dot <file> tree|matching\n"
+               "  kmatch info <file>\n";
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 6) return usage();
+  const auto k = static_cast<Gender>(std::atoi(argv[2]));
+  const auto n = static_cast<Index>(std::atoi(argv[3]));
+  Rng rng(static_cast<std::uint64_t>(std::atoll(argv[4])));
+  const auto inst = gen::uniform(k, n, rng);
+  io::save_file(inst, argv[5]);
+  std::cout << "wrote " << k << "-partite instance (" << n
+            << " members/gender) to " << argv[5] << '\n';
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const auto inst = io::load_file(argv[2]);
+  std::cout << "k = " << inst.genders() << ", n = " << inst.per_gender()
+            << ", members = " << inst.total_members() << ", valid = yes\n";
+  return 0;
+}
+
+int cmd_kary(int argc, char** argv) {
+  if (argc < 3 || argc > 4) return usage();
+  const auto inst = io::load_file(argv[2]);
+  const std::string shape = argc == 4 ? argv[3] : "path";
+  const Gender k = inst.genders();
+
+  core::BindingResult result;
+  BindingStructure tree(k);
+  if (shape == "priority") {
+    auto pr = core::priority_binding(inst);
+    result = std::move(pr.binding);
+    tree = pr.tree;
+  } else {
+    if (shape == "path") {
+      tree = trees::path(k);
+    } else if (shape == "star") {
+      tree = trees::star(k, 0);
+    } else if (shape == "random") {
+      Rng rng(1);
+      tree = prufer::random_tree(k, rng);
+    } else {
+      return usage();
+    }
+    result = core::iterative_binding(inst, tree);
+  }
+
+  std::cout << "binding tree edges:";
+  for (const auto& e : tree.edges()) std::cout << " (" << e.a << ',' << e.b << ')';
+  std::cout << "\nproposals: " << result.total_proposals << '\n';
+  const auto& m = result.matching();
+  for (Index t = 0; t < m.family_count(); ++t) {
+    std::cout << "family " << t << ':';
+    for (Gender g = 0; g < k; ++g) std::cout << ' ' << m.member_at(t, g);
+    std::cout << '\n';
+  }
+  const auto costs = analysis::kary_costs(inst, m);
+  std::cout << "total cost " << costs.total_cost << ", regret " << costs.regret
+            << '\n';
+  return 0;
+}
+
+int cmd_binary(int argc, char** argv) {
+  if (argc < 3 || argc > 4) return usage();
+  const auto inst = io::load_file(argv[2]);
+  const std::string lin = argc == 4 ? argv[3] : "rr";
+  rm::Linearization policy;
+  if (lin == "rr") {
+    policy = rm::Linearization::round_robin;
+  } else if (lin == "blocks") {
+    policy = rm::Linearization::gender_blocks;
+  } else {
+    return usage();
+  }
+  const auto result = rm::solve_kpartite_binary(inst, policy);
+  if (!result.has_stable) {
+    std::cout << "no stable binary matching (reduced list of person "
+              << result.detail.failed_person << " emptied)\n";
+    return 1;
+  }
+  const Index n = inst.per_gender();
+  std::cout << "stable binary matching (" << result.detail.phase1_proposals
+            << " phase-1 proposals, " << result.detail.rotations_eliminated
+            << " rotations eliminated):\n";
+  for (rm::Person p = 0; p < inst.total_members(); ++p) {
+    const rm::Person q = result.partner[static_cast<std::size_t>(p)];
+    if (q > p) {
+      std::cout << "  " << member_of(p, n) << " -- " << member_of(q, n) << '\n';
+    }
+  }
+  return 0;
+}
+
+int cmd_example(int argc, char** argv) {
+  if (argc == 2) {  // list the catalog
+    for (const auto& entry : examples::catalog()) {
+      std::cout << "  " << entry.name << "  —  " << entry.description << '\n';
+    }
+    return 0;
+  }
+  if (argc != 4) return usage();
+  const auto inst = examples::build(argv[2]);
+  io::save_file(inst, argv[3]);
+  std::cout << "wrote '" << argv[2] << "' (k=" << inst.genders()
+            << ", n=" << inst.per_gender() << ") to " << argv[3] << '\n';
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const auto inst = io::load_file(argv[2]);
+  const Gender k = inst.genders();
+  std::cout << "k = " << k << ", n = " << inst.per_gender() << '\n';
+  // Solve with a path tree and print the quality profile per tree shape.
+  TableWriter table("binding quality by tree shape",
+                    {"tree", "proposals", "bound-pair cost", "all-pairs cost",
+                     "regret"});
+  auto add = [&](const std::string& name, const BindingStructure& tree) {
+    const auto result = core::iterative_binding(inst, tree);
+    const auto bound = analysis::kary_tree_costs(inst, result.matching(), tree);
+    const auto all = analysis::kary_costs(inst, result.matching());
+    table.add_row({name, result.total_proposals, bound.total_cost,
+                   all.total_cost, std::int64_t{all.regret}});
+  };
+  add("path", trees::path(k));
+  add("star(0)", trees::star(k, 0));
+  add("cost-aware", core::select_tree(inst, core::TreeObjective::min_cost));
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_dot(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const auto inst = io::load_file(argv[2]);
+  const std::string what = argv[3];
+  if (what == "tree") {
+    std::cout << analysis::to_dot(trees::path(inst.genders()));
+    return 0;
+  }
+  if (what == "matching") {
+    const auto result =
+        core::iterative_binding(inst, trees::path(inst.genders()));
+    std::cout << analysis::to_dot(result.matching());
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_roommates(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const auto inst = rm::io::load_file(argv[2]);
+  const auto result = rm::solve(inst);
+  if (!result.has_stable) {
+    std::cout << "no stable matching (reduced list of person "
+              << result.failed_person << " emptied)\n";
+    return 1;
+  }
+  std::cout << "stable matching (" << result.phase1_proposals
+            << " phase-1 proposals, " << result.rotations_eliminated
+            << " rotations eliminated):\n";
+  for (rm::Person p = 0; p < inst.size(); ++p) {
+    if (result.match[static_cast<std::size_t>(p)] > p) {
+      std::cout << "  " << p << " -- "
+                << result.match[static_cast<std::size_t>(p)] << '\n';
+    }
+  }
+  return 0;
+}
+
+int cmd_coalitions(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const auto inst = io::load_file(argv[2]);
+  const auto c = static_cast<Gender>(std::atoi(argv[3]));
+  const auto partition =
+      core::SupergenderPartition::contiguous(inst.genders(), c);
+  const auto result = core::coalition_binding(
+      inst, partition, rm::Linearization::round_robin);
+  std::cout << result.coalitions.size() << " coalitions of "
+            << result.coalitions.front().members.size()
+            << " members (one per super-gender):\n";
+  for (std::size_t t = 0; t < result.coalitions.size(); ++t) {
+    std::cout << "  coalition " << t << ':';
+    for (const MemberId m : result.coalitions[t].members) {
+      std::cout << ' ' << m;
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "kary") return cmd_kary(argc, argv);
+    if (cmd == "binary") return cmd_binary(argc, argv);
+    if (cmd == "roommates") return cmd_roommates(argc, argv);
+    if (cmd == "coalitions") return cmd_coalitions(argc, argv);
+    if (cmd == "example") return cmd_example(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
+    if (cmd == "dot") return cmd_dot(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  return usage();
+}

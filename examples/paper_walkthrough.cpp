@@ -1,0 +1,192 @@
+// Paper walkthrough: every worked example in "Stable Matching Beyond
+// Bipartite Graphs" reproduced in paper order, with narration.
+//
+// Sections covered: Example 1 (§II.A), Example 2 / Fig. 1 enumeration (§II.B),
+// the §II.C blocking-family illustration, Theorem 1's argument (§III.A), the
+// §III.B left/right roommates instances and the Fig. 2 deadlock, Fig. 3 +
+// Algorithm 1 (§IV.A), the §IV.B alternative bindings and cycle witness,
+// Fig. 4 even-odd schedule (§IV.C), and Algorithm 2 / Fig. 6 (§IV.D).
+//
+// Run: ./paper_walkthrough
+
+#include <iostream>
+
+#include "core/kstable.hpp"
+
+namespace {
+
+using namespace kstable;
+
+void header(const char* section) {
+  std::cout << "\n======== " << section << " ========\n";
+}
+
+void section_2a() {
+  header("§II.A — Example 1 (Gale-Shapley)");
+  const auto first = examples::example1_first();
+  const auto r1 = gs::gale_shapley_queue(first, 0, 1);
+  std::cout << "First preferences, men propose: (m," << (r1.proposer_match[0] ? "w'" : "w")
+            << ") (m'," << (r1.proposer_match[1] ? "w'" : "w")
+            << ")  — paper: m ends with w' after rejection at w\n";
+
+  const auto second = examples::example1_second();
+  const auto men = gs::gale_shapley_queue(second, 0, 1);
+  const auto women = gs::gale_shapley_queue(second, 1, 0);
+  std::cout << "Second preferences: men-proposing favors men (m gets rank "
+            << second.rank_of({0, 0}, {1, men.proposer_match[0]})
+            << " choice), women-proposing favors women (w gets rank "
+            << second.rank_of({1, 0}, {0, women.proposer_match[0]})
+            << " choice) — the unfairness the paper notes.\n";
+}
+
+void section_2b() {
+  header("§II.B — Example 2 / Fig. 1 (tripartite enumeration)");
+  // 8 binary pairing choices, 4 ternary matchings for k=3, n=2.
+  const auto inst = examples::fig3_instance();
+  const auto census = analysis::kary_census(inst);
+  std::cout << "Ternary matchings of a k=3, n=2 instance: "
+            << census.total_matchings << " (paper lists 4), of which "
+            << census.stable_matchings << " are stable.\n";
+  const auto rm_inst = rm::to_roommates(inst, rm::Linearization::round_robin);
+  const auto bcensus = analysis::binary_census(rm_inst);
+  std::cout << "Perfect binary pairings: " << bcensus.perfect_matchings
+            << " (paper lists 8 pairing choices).\n";
+}
+
+void section_2c() {
+  header("§II.C — blocking family illustration");
+  std::cout << "(m, w', u') blocks {(m,w,u), (m',w',u')} when m prefers w',u' "
+               "and both prefer m\n";
+  std::cout << "Reproduced as a pinned unit test "
+               "(BlockingFamily.PaperSection2cExampleBlocks).\n";
+}
+
+void section_3a() {
+  header("§III.A — Theorem 1");
+  Rng rng(1);
+  const auto inst = core::theorem1_adversarial_roommates(3, 4, rng);
+  const auto result = rm::solve(inst);
+  const auto perfect = analysis::binary_census(inst, 1).perfect_matchings;
+  std::cout << "Adversarial tripartite instance (n=4): perfect matching "
+            << (perfect > 0 ? "exists" : "missing!") << ", stable matching "
+            << (result.has_stable ? "EXISTS (bug!)" : "does not exist") << ".\n";
+  const auto self_match = rm::examples::self_matching_unstable();
+  std::cout << "Self-matching variant (U may pair internally): stable matching "
+            << (rm::solve(self_match).has_stable ? "EXISTS (bug!)"
+                                                 : "does not exist")
+            << " — the answer is negative as well, as the paper says.\n";
+}
+
+void section_3b() {
+  header("§III.B — roommates solution and fairness");
+  const auto left = rm::solve(rm::examples::sec3b_left());
+  std::cout << "Left instance  -> (m,u') (m',w) (w',u): "
+            << (left.has_stable && left.match[0] == 5 ? "reproduced" : "BUG")
+            << '\n';
+  const auto right = rm::solve(rm::examples::sec3b_right());
+  std::cout << "Right instance -> no stable matching: "
+            << (!right.has_stable ? "reproduced" : "BUG") << '\n';
+
+  const auto deadlock = examples::example1_second();
+  const auto man = rm::solve_fair_smp(deadlock, 0, 1, rm::FairPolicy::man_oriented);
+  const auto woman =
+      rm::solve_fair_smp(deadlock, 0, 1, rm::FairPolicy::woman_oriented);
+  std::cout << "Fig. 2 deadlock: breaking one loop -> man-optimal (m,w)(m',w') ["
+            << (man.man_match[0] == 0 ? "ok" : "BUG")
+            << "], the other -> woman-optimal (m,w')(m',w) ["
+            << (woman.man_match[0] == 1 ? "ok" : "BUG") << "]\n";
+}
+
+void section_4a() {
+  header("§IV.A — Fig. 3 and Algorithm 1");
+  const auto inst = examples::fig3_instance();
+  BindingStructure tree(3);
+  tree.add_edge({0, 1});
+  tree.add_edge({1, 2});
+  const auto result = core::iterative_binding(inst, tree);
+  std::cout << "Bindings M-W, W-U -> ";
+  for (Index t = 0; t < 2; ++t) {
+    std::cout << '(';
+    for (Gender g = 0; g < 3; ++g) {
+      std::cout << (g ? "," : "") << result.matching().member_at(t, g);
+    }
+    std::cout << ") ";
+  }
+  std::cout << "— the paper's (m,w,u) and (m',w',u').\n";
+  std::cout << "Binding tree as DOT:\n" << analysis::to_dot(tree);
+}
+
+void section_4b() {
+  header("§IV.B — alternative bindings, Theorem 4");
+  const auto inst = examples::fig3_instance();
+  BindingStructure mu_uw(3);
+  mu_uw.add_edge({0, 2});
+  mu_uw.add_edge({2, 1});
+  const auto alt = core::iterative_binding(inst, mu_uw);
+  std::cout << "Bindings M-U, U-W give a DIFFERENT stable matching: m now "
+               "pairs with "
+            << alt.matching().family_member({0, 0}, 2) << " (paper: u').\n";
+  const auto cycle_prefs = gen::theorem4_cycle_prefs();
+  BindingStructure cycle(3);
+  cycle.add_edge({0, 1});
+  cycle.add_edge({1, 2});
+  cycle.add_edge({2, 0});
+  const auto broken = core::bind_structure(cycle_prefs, cycle);
+  std::cout << "The §IV.B cycle preferences with three bindings: "
+            << (broken.equivalence.consistent ? "consistent (BUG!)"
+                                              : "collide, as claimed")
+            << '\n';
+  std::cout << "Cayley: " << prufer::cayley_count(3)
+            << " binding trees for k=3; " << prufer::cayley_count(4)
+            << " for k=4.\n";
+}
+
+void section_4c() {
+  header("§IV.C — parallel implementation, Fig. 4");
+  Rng rng(2);
+  const auto inst = gen::uniform(6, 32, rng);
+  ThreadPool pool;
+  const auto path_run = core::execute_binding(
+      inst, trees::path(6), core::ExecutionMode::erew_rounds, pool);
+  const auto star_run = core::execute_binding(
+      inst, trees::star(6, 0), core::ExecutionMode::erew_rounds, pool);
+  std::cout << "k=6: path tree runs in " << path_run.rounds_executed
+            << " EREW rounds (Corollary 2: 2), star in "
+            << star_run.rounds_executed << " (Corollary 1: Δ = 5).\n";
+}
+
+void section_4d() {
+  header("§IV.D — weakened condition, Algorithm 2, Fig. 6");
+  Rng rng(3);
+  const auto inst = gen::uniform(4, 3, rng);
+  const auto result = core::priority_binding(inst);
+  std::cout << "Algorithm 2 grew a bitonic tree rooted at the highest "
+               "priority gender; weakened blocking family: "
+            << (analysis::find_weakened_blocking_family(
+                    inst, result.binding.matching(), {0, 1, 2, 3})
+                    ? "FOUND (bug!)"
+                    : "none")
+            << '\n';
+  std::cout << "Priority-grown trees for k=4: "
+            << core::priority_tree_count(4) << " (Fig. 6 shows 3! = 6).\n";
+  std::cout << "NOTE (documented deviation): non-star bitonic trees can admit "
+               "weakened blocking families — see EXPERIMENTS.md E8.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Walkthrough of 'Stable Matching Beyond Bipartite Graphs' "
+               "(Wu, IPPS 2016)\n";
+  section_2a();
+  section_2b();
+  section_2c();
+  section_3a();
+  section_3b();
+  section_4a();
+  section_4b();
+  section_4c();
+  section_4d();
+  std::cout << "\nAll sections reproduced. Tests pin each of these checks.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "analysis/assignment.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace kstable::analysis {
+
+std::vector<Index> min_cost_assignment(const std::vector<std::int64_t>& cost,
+                                       Index n) {
+  KSTABLE_REQUIRE(n >= 1, "assignment needs n >= 1");
+  KSTABLE_REQUIRE(cost.size() == static_cast<std::size_t>(n) *
+                                     static_cast<std::size_t>(n),
+                  "cost matrix has " << cost.size() << " entries for n=" << n);
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  // Hungarian algorithm with potentials (1-indexed internal arrays).
+  std::vector<std::int64_t> u(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> p(static_cast<std::size_t>(n) + 1, 0);    // col -> row
+  std::vector<Index> way(static_cast<std::size_t>(n) + 1, 0);  // augmenting path
+
+  for (Index i = 1; i <= n; ++i) {
+    p[0] = i;
+    Index j0 = 0;
+    std::vector<std::int64_t> minv(static_cast<std::size_t>(n) + 1, kInf);
+    std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+    do {
+      used[static_cast<std::size_t>(j0)] = true;
+      const Index i0 = p[static_cast<std::size_t>(j0)];
+      std::int64_t delta = kInf;
+      Index j1 = 0;
+      for (Index j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const std::int64_t cur =
+            cost[static_cast<std::size_t>(i0 - 1) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(j - 1)] -
+            u[static_cast<std::size_t>(i0)] - v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (Index j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    // Unwind the augmenting path.
+    do {
+      const Index j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<Index> row_to_col(static_cast<std::size_t>(n), Index{-1});
+  for (Index j = 1; j <= n; ++j) {
+    row_to_col[static_cast<std::size_t>(p[static_cast<std::size_t>(j)] - 1)] =
+        j - 1;
+  }
+  return row_to_col;
+}
+
+std::vector<std::int64_t> egalitarian_cost_matrix(const KPartiteInstance& inst,
+                                                  Gender a, Gender b) {
+  const Index n = inst.per_gender();
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(n) *
+                                 static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      cost[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(j)] =
+          inst.rank_of({a, i}, {b, j}) + inst.rank_of({b, j}, {a, i});
+    }
+  }
+  return cost;
+}
+
+std::vector<Index> egalitarian_assignment(const KPartiteInstance& inst,
+                                          Gender a, Gender b) {
+  return min_cost_assignment(egalitarian_cost_matrix(inst, a, b),
+                             inst.per_gender());
+}
+
+std::int64_t count_blocking_pairs(const KPartiteInstance& inst, Gender a,
+                                  Gender b, const std::vector<Index>& match_a) {
+  const Index n = inst.per_gender();
+  KSTABLE_REQUIRE(match_a.size() == static_cast<std::size_t>(n),
+                  "match array size mismatch");
+  std::vector<Index> match_b(static_cast<std::size_t>(n), Index{-1});
+  for (Index i = 0; i < n; ++i) {
+    match_b[static_cast<std::size_t>(match_a[static_cast<std::size_t>(i)])] = i;
+  }
+  std::int64_t blocking = 0;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (match_a[static_cast<std::size_t>(i)] == j) continue;
+      if (inst.prefers({a, i}, {b, j},
+                       {b, match_a[static_cast<std::size_t>(i)]}) &&
+          inst.prefers({b, j}, {a, i},
+                       {a, match_b[static_cast<std::size_t>(j)]})) {
+        ++blocking;
+      }
+    }
+  }
+  return blocking;
+}
+
+}  // namespace kstable::analysis

@@ -1,0 +1,39 @@
+// Minimum-cost assignment (Hungarian algorithm) — the objective-based
+// matching baseline from the paper's introduction ("in maximum-weighted
+// bipartite matching [1], the objective is to maximize the total utility...
+// In this paper, we focus on stable matching based on a notion of
+// stability").
+//
+// E16 uses it to price stability: the rank-cost-optimal assignment between
+// two genders is cheaper than any stable matching but generally admits
+// blocking pairs; GS is stable but pays more total cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prefs/kpartite.hpp"
+
+namespace kstable::analysis {
+
+/// Solves min-cost perfect assignment on an n x n cost matrix
+/// (cost[r * n + c]); returns row -> column. O(n³).
+std::vector<Index> min_cost_assignment(const std::vector<std::int64_t>& cost,
+                                       Index n);
+
+/// Rank-cost matrix between genders (a, b) of `inst`:
+/// cost(i, j) = rank_a(i -> j) + rank_b(j -> i) (the egalitarian objective).
+std::vector<std::int64_t> egalitarian_cost_matrix(const KPartiteInstance& inst,
+                                                  Gender a, Gender b);
+
+/// Convenience: the egalitarian-optimal (not necessarily stable) assignment
+/// between genders (a, b). Returns match_a (a-index -> b-index).
+std::vector<Index> egalitarian_assignment(const KPartiteInstance& inst,
+                                          Gender a, Gender b);
+
+/// Number of blocking pairs of `match_a` between genders (a, b) — the
+/// instability an objective-based assignment accepts.
+std::int64_t count_blocking_pairs(const KPartiteInstance& inst, Gender a,
+                                  Gender b, const std::vector<Index>& match_a);
+
+}  // namespace kstable::analysis

@@ -1,0 +1,47 @@
+#include "analysis/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace kstable::analysis {
+
+void to_dot(const BindingStructure& structure, std::ostream& os) {
+  os << "graph binding_structure {\n";
+  os << "  node [shape=circle];\n";
+  for (Gender g = 0; g < structure.genders(); ++g) {
+    os << "  g" << g << ";\n";
+  }
+  for (const auto& e : structure.edges()) {
+    os << "  g" << e.a << " -- g" << e.b << " [label=\"" << e.a << "→" << e.b
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const BindingStructure& structure) {
+  std::ostringstream os;
+  to_dot(structure, os);
+  return os.str();
+}
+
+void to_dot(const KaryMatching& matching, std::ostream& os) {
+  os << "graph kary_matching {\n";
+  os << "  node [shape=box];\n";
+  for (Index t = 0; t < matching.family_count(); ++t) {
+    os << "  subgraph cluster_family_" << t << " {\n";
+    os << "    label=\"family " << t << "\";\n";
+    for (Gender g = 0; g < matching.genders(); ++g) {
+      os << "    \"" << matching.member_at(t, g) << "\";\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const KaryMatching& matching) {
+  std::ostringstream os;
+  to_dot(matching, os);
+  return os.str();
+}
+
+}  // namespace kstable::analysis

@@ -1,0 +1,26 @@
+// GraphViz DOT emitters for binding trees and k-ary matchings — developer
+// tooling for inspecting binding structures and family assignments
+// (`kmatch_cli kary --dot`, notebooks, papers).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/binding_structure.hpp"
+#include "prefs/kpartite.hpp"
+#include "prefs/matching.hpp"
+
+namespace kstable::analysis {
+
+/// Emits the gender-level binding structure as an undirected DOT graph.
+/// Nodes are genders (labelled g0..g{k-1}); edge direction of the binding
+/// (proposer -> responder) is recorded as an edge label.
+void to_dot(const BindingStructure& structure, std::ostream& os);
+std::string to_dot(const BindingStructure& structure);
+
+/// Emits a k-ary matching as a DOT graph: one cluster per family, members as
+/// nodes named like the MemberId stream format (a0, b1, ...).
+void to_dot(const KaryMatching& matching, std::ostream& os);
+std::string to_dot(const KaryMatching& matching);
+
+}  // namespace kstable::analysis

@@ -1,0 +1,69 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kstable::analysis {
+
+BipartiteCosts bipartite_costs(const KPartiteInstance& inst, Gender a, Gender b,
+                               const std::vector<Index>& match_a) {
+  const Index n = inst.per_gender();
+  KSTABLE_REQUIRE(match_a.size() == static_cast<std::size_t>(n),
+                  "match array has " << match_a.size() << " entries for n="
+                                     << n);
+  BipartiteCosts costs;
+  for (Index i = 0; i < n; ++i) {
+    const Index j = match_a[static_cast<std::size_t>(i)];
+    const std::int32_t ra = inst.rank_of({a, i}, {b, j});
+    const std::int32_t rb = inst.rank_of({b, j}, {a, i});
+    costs.proposer_cost += ra;
+    costs.responder_cost += rb;
+    costs.proposer_regret = std::max(costs.proposer_regret, ra);
+    costs.responder_regret = std::max(costs.responder_regret, rb);
+  }
+  return costs;
+}
+
+KaryCosts kary_costs(const KPartiteInstance& inst, const KaryMatching& m) {
+  const Gender k = inst.genders();
+  KaryCosts costs;
+  costs.per_gender_cost.assign(static_cast<std::size_t>(k), 0);
+  for (Index t = 0; t < m.family_count(); ++t) {
+    for (Gender g = 0; g < k; ++g) {
+      const MemberId member = m.member_at(t, g);
+      for (Gender h = 0; h < k; ++h) {
+        if (h == g) continue;
+        const std::int32_t r = inst.rank_of(member, m.member_at(t, h));
+        costs.per_gender_cost[static_cast<std::size_t>(g)] += r;
+        costs.total_cost += r;
+        costs.regret = std::max(costs.regret, r);
+      }
+    }
+  }
+  return costs;
+}
+
+KaryCosts kary_tree_costs(const KPartiteInstance& inst, const KaryMatching& m,
+                          const BindingStructure& tree) {
+  const Gender k = inst.genders();
+  KSTABLE_REQUIRE(tree.genders() == k, "tree has " << tree.genders()
+                      << " genders, instance has " << k);
+  KaryCosts costs;
+  costs.per_gender_cost.assign(static_cast<std::size_t>(k), 0);
+  for (Index t = 0; t < m.family_count(); ++t) {
+    for (const auto& e : tree.edges()) {
+      const MemberId ma = m.member_at(t, e.a);
+      const MemberId mb = m.member_at(t, e.b);
+      const std::int32_t rab = inst.rank_of(ma, mb);
+      const std::int32_t rba = inst.rank_of(mb, ma);
+      costs.per_gender_cost[static_cast<std::size_t>(e.a)] += rab;
+      costs.per_gender_cost[static_cast<std::size_t>(e.b)] += rba;
+      costs.total_cost += rab + rba;
+      costs.regret = std::max({costs.regret, rab, rba});
+    }
+  }
+  return costs;
+}
+
+}  // namespace kstable::analysis

@@ -1,0 +1,60 @@
+// Happiness / fairness metrics (paper §II.A: "the GS algorithm still favors
+// men over women in terms of preferential happiness").
+//
+// Ranks are 0-based (0 = most preferred), so lower cost = happier. The E1/E3
+// experiments report these for GS vs. the roommates-based fair SMP solver;
+// the E4/E8 experiments report family costs of k-ary matchings across
+// binding-tree shapes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/binding_structure.hpp"
+#include "prefs/kpartite.hpp"
+#include "prefs/matching.hpp"
+
+namespace kstable::analysis {
+
+/// Cost summary of a bipartite matching between two genders.
+struct BipartiteCosts {
+  std::int64_t proposer_cost = 0;  ///< sum of proposer-side partner ranks
+  std::int64_t responder_cost = 0; ///< sum of responder-side partner ranks
+  std::int32_t proposer_regret = 0;  ///< max proposer-side partner rank
+  std::int32_t responder_regret = 0; ///< max responder-side partner rank
+
+  [[nodiscard]] std::int64_t egalitarian() const {
+    return proposer_cost + responder_cost;
+  }
+  /// The paper's unfairness signal: cost asymmetry between the sides.
+  [[nodiscard]] std::int64_t sex_equality() const {
+    const std::int64_t d = proposer_cost - responder_cost;
+    return d < 0 ? -d : d;
+  }
+};
+
+/// Costs of matching genders (a, b) of `inst`, where match_a[i] = partner
+/// index in gender b of member (a, i).
+BipartiteCosts bipartite_costs(const KPartiteInstance& inst, Gender a, Gender b,
+                               const std::vector<Index>& match_a);
+
+/// Cost summary of a k-ary matching.
+struct KaryCosts {
+  /// Sum over all members of the ranks of every cross-gender family member.
+  std::int64_t total_cost = 0;
+  /// per_gender_cost[g] = cost borne by gender g's members.
+  std::vector<std::int64_t> per_gender_cost;
+  /// Max rank any member assigns to any of its family members.
+  std::int32_t regret = 0;
+};
+
+/// All-pairs family cost: every member evaluates all k-1 family co-members.
+KaryCosts kary_costs(const KPartiteInstance& inst, const KaryMatching& m);
+
+/// Tree-restricted family cost: only the pairs bound by `tree`'s edges are
+/// charged (both directions). Isolates the cost the binding process actually
+/// optimized from the cost of the transitively joined pairs.
+KaryCosts kary_tree_costs(const KPartiteInstance& inst, const KaryMatching& m,
+                          const BindingStructure& tree);
+
+}  // namespace kstable::analysis

@@ -1,0 +1,106 @@
+#include "analysis/oracle.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "roommates/solver.hpp"
+#include "util/check.hpp"
+
+namespace kstable::analysis {
+
+namespace {
+
+/// Recursive perfect-matching enumeration: match the lowest unmatched person
+/// with every acceptable unmatched candidate.
+void enumerate_binary(const rm::RoommatesInstance& inst,
+                      std::vector<rm::Person>& match, rm::Person from,
+                      BinaryCensus& census, std::int64_t limit, bool& stop) {
+  const rm::Person n = inst.size();
+  rm::Person p = from;
+  while (p < n && match[static_cast<std::size_t>(p)] != -1) ++p;
+  if (p == n) {
+    ++census.perfect_matchings;
+    if (rm::is_stable_matching(inst, match)) {
+      ++census.stable_matchings;
+      if (!census.witness) census.witness = match;
+    }
+    if (limit > 0 && census.perfect_matchings >= limit) stop = true;
+    return;
+  }
+  for (const rm::Person q : inst.list(p)) {
+    if (q < p || match[static_cast<std::size_t>(q)] != -1) continue;
+    match[static_cast<std::size_t>(p)] = q;
+    match[static_cast<std::size_t>(q)] = p;
+    enumerate_binary(inst, match, p + 1, census, limit, stop);
+    match[static_cast<std::size_t>(p)] = -1;
+    match[static_cast<std::size_t>(q)] = -1;
+    if (stop) return;
+  }
+}
+
+}  // namespace
+
+BinaryCensus binary_census(const rm::RoommatesInstance& inst,
+                           std::int64_t limit) {
+  BinaryCensus census;
+  std::vector<rm::Person> match(static_cast<std::size_t>(inst.size()), -1);
+  bool stop = false;
+  enumerate_binary(inst, match, 0, census, limit, stop);
+  return census;
+}
+
+void for_each_kary_matching(
+    const KPartiteInstance& inst,
+    const std::function<void(const KaryMatching&)>& visit) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  // families[t*k + g]; gender 0 fixed as identity (tuples are unordered, so
+  // fixing one gender's assignment removes the n! family relabelings).
+  std::vector<Index> families(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(k));
+  for (Index t = 0; t < n; ++t) {
+    families[static_cast<std::size_t>(t) * static_cast<std::size_t>(k)] = t;
+  }
+  // Iterate permutations per remaining gender via odometer of permutations.
+  std::vector<std::vector<Index>> perms(static_cast<std::size_t>(k));
+  for (Gender g = 1; g < k; ++g) {
+    perms[static_cast<std::size_t>(g)].resize(static_cast<std::size_t>(n));
+    std::iota(perms[static_cast<std::size_t>(g)].begin(),
+              perms[static_cast<std::size_t>(g)].end(), Index{0});
+  }
+  std::function<void(Gender)> rec = [&](Gender g) {
+    if (g == k) {
+      visit(KaryMatching(k, n, families));
+      return;
+    }
+    auto& perm = perms[static_cast<std::size_t>(g)];
+    std::sort(perm.begin(), perm.end());
+    do {
+      for (Index t = 0; t < n; ++t) {
+        families[static_cast<std::size_t>(t) * static_cast<std::size_t>(k) +
+                 static_cast<std::size_t>(g)] = perm[static_cast<std::size_t>(t)];
+      }
+      rec(g + 1);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  };
+  rec(1);
+}
+
+KaryCensus kary_census(const KPartiteInstance& inst,
+                       const std::vector<std::int32_t>& priority) {
+  KaryCensus census;
+  for_each_kary_matching(inst, [&](const KaryMatching& matching) {
+    ++census.total_matchings;
+    if (!find_blocking_family(inst, matching).has_value()) {
+      ++census.stable_matchings;
+      if (!census.witness) census.witness = matching;
+    }
+    if (!priority.empty() &&
+        !find_weakened_blocking_family(inst, matching, priority).has_value()) {
+      ++census.weakened_stable_matchings;
+    }
+  });
+  return census;
+}
+
+}  // namespace kstable::analysis

@@ -1,0 +1,128 @@
+#include "analysis/quorum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/oracle.hpp"
+#include "util/check.hpp"
+
+namespace kstable::analysis {
+
+bool member_agrees(const KPartiteInstance& inst, const KaryMatching& matching,
+                   const std::vector<Index>& members, Gender g) {
+  const Gender k = inst.genders();
+  KSTABLE_REQUIRE(members.size() == static_cast<std::size_t>(k),
+                  "tuple has " << members.size() << " members, expected " << k);
+  const MemberId self{g, members[static_cast<std::size_t>(g)]};
+  const Index own_family = matching.family_of(self);
+  for (Gender h = 0; h < k; ++h) {
+    if (h == g) continue;
+    const MemberId other{h, members[static_cast<std::size_t>(h)]};
+    if (matching.family_of(other) == own_family) continue;  // same group
+    const MemberId current = matching.member_at(own_family, h);
+    if (!inst.prefers(self, other, current)) return false;
+  }
+  return true;
+}
+
+bool tuple_blocks_quorum(const KPartiteInstance& inst,
+                         const KaryMatching& matching,
+                         const std::vector<Index>& members, double q) {
+  KSTABLE_REQUIRE(q > 0.0 && q <= 1.0, "quorum must be in (0, 1], got " << q);
+  const Gender k = inst.genders();
+  KSTABLE_REQUIRE(members.size() == static_cast<std::size_t>(k),
+                  "tuple has " << members.size() << " members, expected " << k);
+
+  // Group genders by current family; count group sizes and agreements.
+  std::vector<Index> family(static_cast<std::size_t>(k));
+  for (Gender g = 0; g < k; ++g) {
+    family[static_cast<std::size_t>(g)] =
+        matching.family_of({g, members[static_cast<std::size_t>(g)]});
+  }
+  auto distinct = family;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  if (distinct.size() < 2) return false;  // reproduces an existing family
+
+  for (const Index fam : distinct) {
+    std::int32_t size = 0;
+    std::int32_t agreeing = 0;
+    for (Gender g = 0; g < k; ++g) {
+      if (family[static_cast<std::size_t>(g)] != fam) continue;
+      ++size;
+      agreeing += member_agrees(inst, matching, members, g);
+    }
+    const auto needed =
+        static_cast<std::int32_t>(std::ceil(q * static_cast<double>(size)));
+    if (agreeing < std::max(needed, 1)) return false;
+  }
+  return true;
+}
+
+std::optional<BlockingFamily> find_quorum_blocking_family(
+    const KPartiteInstance& inst, const KaryMatching& matching, double q) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  std::vector<Index> members(static_cast<std::size_t>(k), Index{0});
+  // Odometer over all n^k tuples; quorum agreement is a global property of
+  // the tuple's grouping, so there is no sound prefix pruning as in the
+  // strict/weakened searches — keep instances small.
+  for (;;) {
+    if (tuple_blocks_quorum(inst, matching, members, q)) {
+      BlockingFamily out;
+      out.members = members;
+      std::vector<Index> fams;
+      for (Gender g = 0; g < k; ++g) {
+        fams.push_back(
+            matching.family_of({g, members[static_cast<std::size_t>(g)]}));
+      }
+      std::sort(fams.begin(), fams.end());
+      out.source_families = static_cast<std::int32_t>(
+          std::unique(fams.begin(), fams.end()) - fams.begin());
+      return out;
+    }
+    Gender pos = 0;
+    for (; pos < k; ++pos) {
+      if (++members[static_cast<std::size_t>(pos)] < n) break;
+      members[static_cast<std::size_t>(pos)] = 0;
+    }
+    if (pos == k) break;
+  }
+  return std::nullopt;
+}
+
+std::optional<BlockingFamily> find_quorum_blocking_family_sampled(
+    const KPartiteInstance& inst, const KaryMatching& matching, double q,
+    Rng& rng, std::int64_t samples) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  std::vector<Index> members(static_cast<std::size_t>(k));
+  for (std::int64_t s = 0; s < samples; ++s) {
+    for (Gender g = 0; g < k; ++g) {
+      members[static_cast<std::size_t>(g)] =
+          static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+    }
+    if (tuple_blocks_quorum(inst, matching, members, q)) {
+      BlockingFamily out;
+      out.members = members;
+      out.source_families = 2;  // lower bound; exact count not recomputed
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::int64_t> quorum_stable_census(
+    const KPartiteInstance& inst, const std::vector<double>& quorums) {
+  std::vector<std::int64_t> stable(quorums.size(), 0);
+  for_each_kary_matching(inst, [&](const KaryMatching& matching) {
+    for (std::size_t i = 0; i < quorums.size(); ++i) {
+      if (!find_quorum_blocking_family(inst, matching, quorums[i])) {
+        ++stable[i];
+      }
+    }
+  });
+  return stable;
+}
+
+}  // namespace kstable::analysis

@@ -1,0 +1,53 @@
+// Quorum-based blocking families — the paper's §VII future-work direction
+// ("One possibility is to explore quorum-based approaches to relax unstable
+// conditions used in the extended stable matching"), formalized here.
+//
+// A member of a candidate new family *agrees* when it strictly prefers every
+// member of the new family from other same-family groups to the
+// corresponding-gender member of its current family (exactly the per-member
+// condition of the strict model). Under quorum q ∈ (0, 1], the family blocks
+// iff, in EVERY same-family group S, at least ceil(q·|S|) members agree.
+//
+// The spectrum this interpolates:
+//   q = 1                -> the strict §IV.A condition (all members agree);
+//   q -> 0 (>= 1 member) -> "any representative per group", which is even
+//                           weaker than §IV.D's lead-member condition (the
+//                           lead is one specific member; here any one will do).
+// Blocking is antitone in q, so the set of q-stable matchings grows with q —
+// a property test and the E11 experiment pin this down.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/stability.hpp"
+
+namespace kstable::analysis {
+
+/// True iff the member of gender `g` in `members` agrees (prefers every
+/// cross-group member of the tuple to its current same-gender counterpart).
+bool member_agrees(const KPartiteInstance& inst, const KaryMatching& matching,
+                   const std::vector<Index>& members, Gender g);
+
+/// True iff `members` blocks `matching` under quorum `q` (see file comment).
+/// Requires 0 < q <= 1. Tuples reproducing a single family never block.
+bool tuple_blocks_quorum(const KPartiteInstance& inst,
+                         const KaryMatching& matching,
+                         const std::vector<Index>& members, double q);
+
+/// Exhaustive search over all n^k tuples (small instances only). Returns the
+/// first quorum-blocking witness, or nullopt if `matching` is q-stable.
+std::optional<BlockingFamily> find_quorum_blocking_family(
+    const KPartiteInstance& inst, const KaryMatching& matching, double q);
+
+/// Randomized probe version for larger instances.
+std::optional<BlockingFamily> find_quorum_blocking_family_sampled(
+    const KPartiteInstance& inst, const KaryMatching& matching, double q,
+    Rng& rng, std::int64_t samples);
+
+/// Census: fraction of all k-ary matchings of `inst` that are q-stable, for
+/// each quorum value in `quorums` (exhaustive; small instances only).
+std::vector<std::int64_t> quorum_stable_census(
+    const KPartiteInstance& inst, const std::vector<double>& quorums);
+
+}  // namespace kstable::analysis

@@ -1,0 +1,219 @@
+#include "analysis/stability.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace kstable::analysis {
+
+namespace {
+
+/// Shared recursion state for the exact searches.
+struct SearchState {
+  const KPartiteInstance* inst;
+  const KaryMatching* matching;
+  BlockingMode mode;
+  /// Genders in assignment order (decreasing priority for weakened mode).
+  std::vector<Gender> order;
+  /// chosen[d] = member index for gender order[d].
+  std::vector<Index> chosen;
+  /// family of chosen[d].
+  std::vector<Index> family;
+  /// lead[d] = true iff chosen[d] is the first member of its family in
+  /// assignment order (weakened mode's lead member).
+  std::vector<bool> lead;
+};
+
+/// Checks the pairwise conditions between the newly assigned depth `d` and
+/// all earlier members. Returns false if the partial tuple cannot block.
+bool pair_conditions_hold(const SearchState& s, std::size_t d) {
+  const Gender gh = s.order[d];
+  const MemberId uh{gh, s.chosen[d]};
+  for (std::size_t e = 0; e < d; ++e) {
+    if (s.family[e] == s.family[d]) continue;  // same-family group: no check
+    const Gender gg = s.order[e];
+    const MemberId ug{gg, s.chosen[e]};
+    // u_g's view of gender gh: must prefer uh over its current gh member.
+    if (s.mode == BlockingMode::strict || s.lead[e]) {
+      const MemberId current = s.matching->member_at(s.family[e], gh);
+      if (!s.inst->prefers(ug, uh, current)) return false;
+    }
+    // u_h's view of gender gg.
+    if (s.mode == BlockingMode::strict || s.lead[d]) {
+      const MemberId current = s.matching->member_at(s.family[d], gg);
+      if (!s.inst->prefers(uh, ug, current)) return false;
+    }
+  }
+  return true;
+}
+
+bool search(SearchState& s, std::size_t depth, BlockingFamily& out) {
+  const Gender k = s.inst->genders();
+  const Index n = s.inst->per_gender();
+  if (depth == static_cast<std::size_t>(k)) {
+    std::vector<Index> fams(s.family);
+    std::sort(fams.begin(), fams.end());
+    const auto distinct = static_cast<std::int32_t>(
+        std::unique(fams.begin(), fams.end()) - fams.begin());
+    if (distinct < 2) return false;  // reproduces an existing family
+    out.members.assign(static_cast<std::size_t>(k), Index{-1});
+    for (std::size_t d = 0; d < s.order.size(); ++d) {
+      out.members[static_cast<std::size_t>(s.order[d])] = s.chosen[d];
+    }
+    out.source_families = distinct;
+    return true;
+  }
+  for (Index idx = 0; idx < n; ++idx) {
+    s.chosen[depth] = idx;
+    const MemberId m{s.order[depth], idx};
+    s.family[depth] = s.matching->family_of(m);
+    bool is_lead = true;
+    for (std::size_t e = 0; e < depth; ++e) {
+      if (s.family[e] == s.family[depth]) {
+        is_lead = false;
+        break;
+      }
+    }
+    s.lead[depth] = is_lead;
+    if (!pair_conditions_hold(s, depth)) continue;
+    if (search(s, depth + 1, out)) return true;
+  }
+  return false;
+}
+
+SearchState make_state(const KPartiteInstance& inst,
+                       const KaryMatching& matching, BlockingMode mode,
+                       const std::vector<std::int32_t>& priority) {
+  KSTABLE_REQUIRE(matching.genders() == inst.genders() &&
+                      matching.per_gender() == inst.per_gender(),
+                  "matching is " << matching.genders() << "x"
+                                 << matching.per_gender() << ", instance is "
+                                 << inst.genders() << "x"
+                                 << inst.per_gender());
+  SearchState s;
+  s.inst = &inst;
+  s.matching = &matching;
+  s.mode = mode;
+  const Gender k = inst.genders();
+  s.order.resize(static_cast<std::size_t>(k));
+  std::iota(s.order.begin(), s.order.end(), Gender{0});
+  if (mode == BlockingMode::weakened) {
+    KSTABLE_REQUIRE(priority.size() == static_cast<std::size_t>(k),
+                    "weakened mode needs a priority entry per gender");
+    std::sort(s.order.begin(), s.order.end(), [&priority](Gender a, Gender b) {
+      return priority[static_cast<std::size_t>(a)] >
+             priority[static_cast<std::size_t>(b)];
+    });
+  }
+  s.chosen.assign(static_cast<std::size_t>(k), Index{-1});
+  s.family.assign(static_cast<std::size_t>(k), Index{-1});
+  s.lead.assign(static_cast<std::size_t>(k), false);
+  return s;
+}
+
+}  // namespace
+
+std::optional<BlockingFamily> find_blocking_family(
+    const KPartiteInstance& inst, const KaryMatching& matching) {
+  SearchState s = make_state(inst, matching, BlockingMode::strict, {});
+  BlockingFamily out;
+  if (search(s, 0, out)) return out;
+  return std::nullopt;
+}
+
+std::optional<BlockingFamily> find_weakened_blocking_family(
+    const KPartiteInstance& inst, const KaryMatching& matching,
+    const std::vector<std::int32_t>& priority) {
+  SearchState s = make_state(inst, matching, BlockingMode::weakened, priority);
+  BlockingFamily out;
+  if (search(s, 0, out)) return out;
+  return std::nullopt;
+}
+
+bool tuple_blocks(const KPartiteInstance& inst, const KaryMatching& matching,
+                  const std::vector<Index>& members, BlockingMode mode,
+                  const std::vector<std::int32_t>& priority) {
+  const Gender k = inst.genders();
+  KSTABLE_REQUIRE(members.size() == static_cast<std::size_t>(k),
+                  "tuple has " << members.size() << " members, expected " << k);
+  SearchState s = make_state(inst, matching, mode, priority);
+  for (std::size_t d = 0; d < s.order.size(); ++d) {
+    const Gender g = s.order[d];
+    s.chosen[d] = members[static_cast<std::size_t>(g)];
+    s.family[d] = matching.family_of({g, s.chosen[d]});
+    bool is_lead = true;
+    for (std::size_t e = 0; e < d; ++e) {
+      if (s.family[e] == s.family[d]) {
+        is_lead = false;
+        break;
+      }
+    }
+    s.lead[d] = is_lead;
+    if (!pair_conditions_hold(s, d)) return false;
+  }
+  std::vector<Index> fams(s.family);
+  std::sort(fams.begin(), fams.end());
+  return std::unique(fams.begin(), fams.end()) - fams.begin() >= 2;
+}
+
+std::optional<BlockingFamily> find_blocking_family_pairs(
+    const KPartiteInstance& inst, const KaryMatching& matching,
+    BlockingMode mode, const std::vector<std::int32_t>& priority) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  std::vector<Index> members(static_cast<std::size_t>(k));
+  // For each ordered pair of distinct families (f, g) and each proper
+  // non-empty gender subset S, family f supplies the genders in S and family
+  // g the rest. Iterating ordered pairs covers both assignments of a subset.
+  for (Index f = 0; f < n; ++f) {
+    for (Index g = 0; g < n; ++g) {
+      if (f == g) continue;
+      const auto limit = std::uint32_t{1} << k;
+      for (std::uint32_t mask = 1; mask + 1 < limit; ++mask) {
+        for (Gender h = 0; h < k; ++h) {
+          const Index fam = (mask >> h) & 1U ? f : g;
+          members[static_cast<std::size_t>(h)] =
+              matching.member_at(fam, h).index;
+        }
+        if (tuple_blocks(inst, matching, members, mode, priority)) {
+          BlockingFamily out;
+          out.members = members;
+          out.source_families = 2;
+          return out;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BlockingFamily> find_blocking_family_sampled(
+    const KPartiteInstance& inst, const KaryMatching& matching, Rng& rng,
+    std::int64_t samples, BlockingMode mode,
+    const std::vector<std::int32_t>& priority) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  std::vector<Index> members(static_cast<std::size_t>(k));
+  for (std::int64_t s = 0; s < samples; ++s) {
+    for (Gender g = 0; g < k; ++g) {
+      members[static_cast<std::size_t>(g)] =
+          static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+    }
+    if (tuple_blocks(inst, matching, members, mode, priority)) {
+      BlockingFamily out;
+      out.members = members;
+      std::vector<Index> fams;
+      for (Gender g = 0; g < k; ++g) {
+        fams.push_back(matching.family_of({g, members[static_cast<std::size_t>(g)]}));
+      }
+      std::sort(fams.begin(), fams.end());
+      out.source_families = static_cast<std::int32_t>(
+          std::unique(fams.begin(), fams.end()) - fams.begin());
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace kstable::analysis

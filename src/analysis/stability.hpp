@@ -1,0 +1,74 @@
+// Blocking-family detection for k-ary matchings (paper §II.C, §IV.A, §IV.D).
+//
+// A k-tuple N = (u_1..u_k) *blocks* matching M when its members come from
+// k' >= 2 current families and, grouping N's members by current family
+// ("same-family groups"), every member strictly prefers every member of N
+// from a *different* group to the corresponding-gender member of its own
+// current family (no comparison inside a group). The weakened condition of
+// §IV.D only constrains each group's *lead* member — the member whose gender
+// has the highest priority within the group — which admits strictly more
+// blocking families.
+//
+// Checkers:
+//   find_blocking_family        — exact recursive search with online pruning
+//                                 (exponential worst case; fine to n ~ 32, k <= 5)
+//   find_blocking_family_pairs  — exact restricted to k' = 2 (polynomial);
+//                                 sound but incomplete for k >= 3, and the
+//                                 cheap screen used at scale
+//   find_blocking_family_sampled— randomized probe for very large instances
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "prefs/kpartite.hpp"
+#include "prefs/matching.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::analysis {
+
+/// A witness blocking family: member index per gender (new family), plus the
+/// number of distinct current families its members came from.
+struct BlockingFamily {
+  std::vector<Index> members;  ///< members[g] = index within gender g
+  std::int32_t source_families = 0;
+};
+
+/// Strictness model for the blocking condition.
+enum class BlockingMode {
+  strict,   ///< §IV.A: every member of every group must agree
+  weakened  ///< §IV.D: only each group's lead member must agree
+};
+
+/// Exact search for a blocking family (strict mode). Returns the first
+/// witness found, or nullopt if `matching` is stable.
+std::optional<BlockingFamily> find_blocking_family(
+    const KPartiteInstance& inst, const KaryMatching& matching);
+
+/// Exact search under the weakened condition. `priority[g]` gives gender g's
+/// priority (all distinct; higher value = higher priority).
+std::optional<BlockingFamily> find_weakened_blocking_family(
+    const KPartiteInstance& inst, const KaryMatching& matching,
+    const std::vector<std::int32_t>& priority);
+
+/// Exact search restricted to blocking families drawn from exactly two
+/// current families (k' = 2). Polynomial: O(n² · 2^k · k²). A hit proves
+/// instability; a miss does not prove stability for k >= 3.
+std::optional<BlockingFamily> find_blocking_family_pairs(
+    const KPartiteInstance& inst, const KaryMatching& matching,
+    BlockingMode mode, const std::vector<std::int32_t>& priority = {});
+
+/// Randomized probe: tests `samples` random k-tuples. A hit proves
+/// instability.
+std::optional<BlockingFamily> find_blocking_family_sampled(
+    const KPartiteInstance& inst, const KaryMatching& matching, Rng& rng,
+    std::int64_t samples, BlockingMode mode = BlockingMode::strict,
+    const std::vector<std::int32_t>& priority = {});
+
+/// Checks whether the specific tuple `members` (members[g] = index in gender
+/// g) blocks `matching` under `mode`. Exposed for tests and the samplers.
+bool tuple_blocks(const KPartiteInstance& inst, const KaryMatching& matching,
+                  const std::vector<Index>& members, BlockingMode mode,
+                  const std::vector<std::int32_t>& priority = {});
+
+}  // namespace kstable::analysis

@@ -1,0 +1,125 @@
+#include "core/binding.hpp"
+
+#include "gs/parallel_gs.hpp"
+#include "util/check.hpp"
+
+namespace kstable::core {
+
+gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
+                         const BindingOptions& options) {
+  switch (options.engine) {
+    case GsEngine::queue:
+      return gs::gale_shapley_queue(inst, edge.a, edge.b);
+    case GsEngine::rounds:
+      return gs::gale_shapley_rounds(inst, edge.a, edge.b);
+    case GsEngine::parallel:
+      KSTABLE_REQUIRE(options.pool != nullptr,
+                      "GsEngine::parallel needs a ThreadPool");
+      return gs::gale_shapley_parallel(inst, edge.a, edge.b, *options.pool);
+  }
+  KSTABLE_REQUIRE(false, "unknown GS engine");
+  return {};
+}
+
+BindingResult bind_structure(const KPartiteInstance& inst,
+                             const BindingStructure& structure,
+                             const BindingOptions& options) {
+  KSTABLE_REQUIRE(structure.genders() == inst.genders(),
+                  "structure has " << structure.genders()
+                                   << " genders, instance " << inst.genders());
+  BindingResult result;
+  result.edge_results.reserve(structure.edges().size());
+  for (const auto& edge : structure.edges()) {
+    result.edge_results.push_back(run_binding(inst, edge, options));
+    result.total_proposals += result.edge_results.back().proposals;
+  }
+  result.equivalence = derive_families(inst, structure, result.edge_results);
+  return result;
+}
+
+BindingResult iterative_binding(const KPartiteInstance& inst,
+                                const BindingStructure& tree,
+                                const BindingOptions& options) {
+  KSTABLE_REQUIRE(tree.is_spanning_tree(),
+                  "Algorithm 1 requires a spanning binding tree; "
+                  "use bind_structure for forests/cycles");
+  BindingResult result = bind_structure(inst, tree, options);
+  // Theorem 2: a spanning tree always yields consistent k-tuples.
+  KSTABLE_ENSURE(result.equivalence.consistent,
+                 "spanning-tree binding produced inconsistent classes: "
+                     << result.equivalence.inconsistency);
+  // Theorem 3: at most (k-1) n² accumulated proposals.
+  const std::int64_t bound =
+      static_cast<std::int64_t>(inst.genders() - 1) *
+      static_cast<std::int64_t>(inst.per_gender()) *
+      static_cast<std::int64_t>(inst.per_gender());
+  KSTABLE_ENSURE(result.total_proposals <= bound,
+                 "proposal count " << result.total_proposals
+                                   << " exceeds the Theorem 3 bound " << bound);
+  return result;
+}
+
+StrengthenResult strengthen_bindings(const KPartiteInstance& inst,
+                                     const BindingStructure& base,
+                                     const BindingOptions& options) {
+  KSTABLE_REQUIRE(base.is_forest(),
+                  "strengthen_bindings starts from an acyclic base");
+  StrengthenResult result{BindingStructure(inst.genders()), {}, 0, 0};
+  // Re-add the base edges, then try every absent pair in (a, b) order.
+  std::vector<GenderEdge> candidates = base.edges();
+  const auto base_count = static_cast<std::int32_t>(candidates.size());
+  for (Gender a = 0; a < inst.genders(); ++a) {
+    for (Gender b = a + 1; b < inst.genders(); ++b) {
+      bool present = false;
+      for (const auto& e : base.edges()) {
+        present |= e.normalized() == GenderEdge{a, b};
+      }
+      if (!present) candidates.push_back({a, b});
+    }
+  }
+
+  BindingStructure accepted(inst.genders());
+  std::vector<gs::GsResult> edge_results;
+  for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+    const auto edge = candidates[idx];
+    const bool is_base = static_cast<std::int32_t>(idx) < base_count;
+    // Tentatively add the edge and re-derive the classes.
+    BindingStructure trial = accepted;
+    trial.add_edge(edge);
+    auto trial_results = edge_results;
+    trial_results.push_back(run_binding(inst, edge, options));
+    const auto report = derive_families(inst, trial, trial_results);
+    if (report.consistent) {
+      accepted = std::move(trial);
+      edge_results = std::move(trial_results);
+      if (!is_base) ++result.extra_accepted;
+    } else {
+      KSTABLE_REQUIRE(!is_base, "base edges can never conflict (forest)");
+      ++result.extra_rejected;
+    }
+  }
+  result.structure = accepted;
+  result.binding.edge_results = std::move(edge_results);
+  for (const auto& r : result.binding.edge_results) {
+    result.binding.total_proposals += r.proposals;
+  }
+  result.binding.equivalence =
+      derive_families(inst, result.structure, result.binding.edge_results);
+  KSTABLE_ENSURE(result.binding.equivalence.consistent,
+                 "strengthened structure lost consistency");
+  return result;
+}
+
+BindingStructure greedy_spanning_tree(
+    Gender k, const std::vector<GenderEdge>& candidates) {
+  BindingStructure tree(k);
+  for (const auto& edge : candidates) {
+    if (tree.is_spanning_tree()) break;
+    if (!tree.would_cycle(edge.a, edge.b)) tree.add_edge(edge);
+  }
+  KSTABLE_REQUIRE(tree.is_spanning_tree(),
+                  "candidate edges do not span the " << k << " genders");
+  return tree;
+}
+
+}  // namespace kstable::core

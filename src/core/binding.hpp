@@ -1,0 +1,99 @@
+// Iterative Binding GS — Algorithm 1 of the paper (§IV.A) and its
+// generalization to arbitrary binding structures for the Theorem 4 tightness
+// experiments (§IV.B).
+//
+// Algorithm 1 applies one binary Gale-Shapley matching per edge of a spanning
+// binding tree over the gender set, then converts the pair set into k-ary
+// families through the "same matching tuple" equivalence relation
+// (equivalence.hpp). Theorem 2: the result is always a stable k-ary matching.
+// Theorem 3: it takes at most (k-1)n² accumulated proposals. Theorem 4: k-1
+// bindings are tight — bind_structure on a cyclic edge set generally yields
+// inconsistent equivalence classes, and on a proper forest the index-assembled
+// matching is generally unstable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/equivalence.hpp"
+#include "graph/binding_structure.hpp"
+#include "gs/gale_shapley.hpp"
+#include "parallel/thread_pool.hpp"
+#include "prefs/kpartite.hpp"
+#include "prefs/matching.hpp"
+
+namespace kstable::core {
+
+/// Which Gale-Shapley engine runs each binary binding.
+enum class GsEngine { queue, rounds, parallel };
+
+struct BindingOptions {
+  GsEngine engine = GsEngine::queue;
+  /// Required when engine == GsEngine::parallel.
+  ThreadPool* pool = nullptr;
+};
+
+/// Result of binding a structure (tree, forest, or cyclic edge set).
+struct BindingResult {
+  /// Per-edge GS outcomes, aligned with structure.edges().
+  std::vector<gs::GsResult> edge_results;
+  /// Equivalence-class outcome (consistency, assembled matching).
+  EquivalenceReport equivalence;
+  /// Accumulated proposals over all bindings (Theorem 3's unit).
+  std::int64_t total_proposals = 0;
+
+  [[nodiscard]] bool has_matching() const {
+    return equivalence.matching.has_value();
+  }
+  [[nodiscard]] const KaryMatching& matching() const {
+    return *equivalence.matching;
+  }
+};
+
+/// Runs one binary binding GS(edge.a proposes, edge.b responds) with the
+/// selected engine.
+gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
+                         const BindingOptions& options);
+
+/// Algorithm 1: iterative binding over a spanning tree. The tree is REQUIRED
+/// to be spanning (use bind_structure for forests/cycles); the result always
+/// carries a consistent KaryMatching.
+BindingResult iterative_binding(const KPartiteInstance& inst,
+                                const BindingStructure& tree,
+                                const BindingOptions& options = {});
+
+/// Generalized binding over any simple edge set. Spanning tree => Algorithm 1.
+/// Forest => families assembled by class index across components (generally
+/// unstable; Theorem 4 lower side). Cyclic => equivalence classes may be
+/// inconsistent (Theorem 4 upper side); check result.equivalence.consistent.
+BindingResult bind_structure(const KPartiteInstance& inst,
+                             const BindingStructure& structure,
+                             const BindingOptions& options = {});
+
+/// Algorithm 1's tree-construction loop made explicit: consume candidate
+/// edges in order, adding each edge that does not close a cycle, until a
+/// spanning tree exists. Throws if the candidates cannot span.
+BindingStructure greedy_spanning_tree(Gender k,
+                                      const std::vector<GenderEdge>& candidates);
+
+/// §IV.B's "strengthen the family tie" direction: more than k-1 bindings
+/// require the extra edges' GS matchings to agree with the families already
+/// implied — which "may not always exist". This greedy maximizer starts from
+/// `base` (a spanning tree by default) and adds every remaining gender pair
+/// whose GS matching keeps the equivalence classes consistent. Returns the
+/// final structure and binding result; result.equivalence is always
+/// consistent. The number of accepted extra edges measures how much
+/// "strengthening" an instance admits (master lists admit all C(k,2);
+/// uniform instances almost none — see E6).
+struct StrengthenResult {
+  BindingStructure structure;      ///< base + accepted extra edges
+  BindingResult binding;           ///< results for the final structure
+  std::int32_t extra_accepted = 0; ///< edges beyond the base
+  std::int32_t extra_rejected = 0;
+};
+StrengthenResult strengthen_bindings(const KPartiteInstance& inst,
+                                     const BindingStructure& base,
+                                     const BindingOptions& options = {});
+
+}  // namespace kstable::core

@@ -1,0 +1,110 @@
+#include "core/cyclic3dsm.hpp"
+
+#include <algorithm>
+
+#include "analysis/oracle.hpp"
+#include "util/check.hpp"
+
+namespace kstable::c3d {
+
+namespace {
+
+void check_tripartite(const KPartiteInstance& inst) {
+  KSTABLE_REQUIRE(inst.genders() == 3,
+                  "cyclic 3DSM needs exactly 3 genders, got "
+                      << inst.genders());
+}
+
+/// Identity matching as a mutable family table (family-major, k = 3).
+std::vector<Index> identity_families(Index n) {
+  std::vector<Index> families(static_cast<std::size_t>(n) * 3);
+  for (Index t = 0; t < n; ++t) {
+    for (int g = 0; g < 3; ++g) {
+      families[static_cast<std::size_t>(t) * 3 + static_cast<std::size_t>(g)] = t;
+    }
+  }
+  return families;
+}
+
+}  // namespace
+
+bool triple_blocks(const KPartiteInstance& inst, const KaryMatching& matching,
+                   Index m, Index w, Index u) {
+  check_tripartite(inst);
+  // Current cyclic partners.
+  const MemberId m_woman = matching.family_member({kM, m}, kW);
+  const MemberId w_undecided = matching.family_member({kW, w}, kU);
+  const MemberId u_man = matching.family_member({kU, u}, kM);
+  if (m_woman.index == w && w_undecided.index == u && u_man.index == m) {
+    return false;  // already a matched triple
+  }
+  return inst.prefers({kM, m}, {kW, w}, m_woman) &&
+         inst.prefers({kW, w}, {kU, u}, w_undecided) &&
+         inst.prefers({kU, u}, {kM, m}, u_man);
+}
+
+std::optional<BlockingTriple> find_blocking_triple(
+    const KPartiteInstance& inst, const KaryMatching& matching) {
+  check_tripartite(inst);
+  const Index n = inst.per_gender();
+  for (Index m = 0; m < n; ++m) {
+    // Prune: m only wants women strictly better than his current one.
+    const MemberId current_w = matching.family_member({kM, m}, kW);
+    const std::int32_t current_rank = inst.rank_of({kM, m}, current_w);
+    const auto wish = inst.pref_list({kM, m}, kW);
+    for (std::int32_t pos = 0; pos < current_rank; ++pos) {
+      const Index w = wish[static_cast<std::size_t>(pos)];
+      for (Index u = 0; u < n; ++u) {
+        if (triple_blocks(inst, matching, m, w, u)) {
+          return BlockingTriple{m, w, u};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<KaryMatching> find_stable_exhaustive(
+    const KPartiteInstance& inst) {
+  check_tripartite(inst);
+  std::optional<KaryMatching> witness;
+  analysis::for_each_kary_matching(inst, [&](const KaryMatching& matching) {
+    if (witness) return;
+    if (!find_blocking_triple(inst, matching)) witness = matching;
+  });
+  return witness;
+}
+
+LocalSearchResult local_search(const KPartiteInstance& inst,
+                               std::int64_t max_repairs) {
+  check_tripartite(inst);
+  const Index n = inst.per_gender();
+  LocalSearchResult result;
+  std::vector<Index> families = identity_families(n);
+
+  for (; result.repairs <= max_repairs; ++result.repairs) {
+    KaryMatching matching(3, n, families);
+    const auto blocking = find_blocking_triple(inst, matching);
+    if (!blocking) {
+      result.matching = std::move(matching);
+      result.converged = true;
+      return result;
+    }
+    if (result.repairs == max_repairs) break;
+    // Repair: bring (m, w, u) together in m's family via two swaps — w trades
+    // places with m's current woman, u with m's current undecided. All other
+    // families stay valid triples.
+    const Index fm = matching.family_of({kM, blocking->m});
+    const Index fw = matching.family_of({kW, blocking->w});
+    const Index fu = matching.family_of({kU, blocking->u});
+    auto slot = [&families](Index family, int gender) -> Index& {
+      return families[static_cast<std::size_t>(family) * 3 +
+                      static_cast<std::size_t>(gender)];
+    };
+    std::swap(slot(fm, kW), slot(fw, kW));
+    std::swap(slot(fm, kU), slot(fu, kU));
+  }
+  return result;
+}
+
+}  // namespace kstable::c3d

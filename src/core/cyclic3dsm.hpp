@@ -1,0 +1,62 @@
+// Cyclic three-dimensional stable matching — the prior-work baseline the
+// paper positions itself against (§I / §V.A: Ng & Hirschberg's cyclic model,
+// Huang's variants — existence is NP-complete in those models, which is the
+// motivation for the paper's per-gender binary preference model).
+//
+// Cyclic model: genders M, W, U; each m ranks only women, each w ranks only
+// undecided members, each u ranks only men (preferences "cyclic among
+// genders"). A matching is a set of n disjoint triples. A triple (m, w, u)
+// NOT currently together blocks when m strictly prefers w to his triple's
+// woman, w strictly prefers u to her triple's u, and u strictly prefers m to
+// its triple's man.
+//
+// We provide an exhaustive solver (small n), a blocking-triple repair local
+// search (larger n, not guaranteed to converge — that's the point of the
+// comparison), and reuse KPartiteInstance storage: only the cyclic three of
+// the six cross-gender lists are read (M->W, W->U, U->M).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "prefs/kpartite.hpp"
+#include "prefs/matching.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::c3d {
+
+inline constexpr Gender kM = 0, kW = 1, kU = 2;
+
+/// A blocking triple witness (indices into each gender).
+struct BlockingTriple {
+  Index m = -1, w = -1, u = -1;
+};
+
+/// True iff (m, w, u) blocks `matching` under the cyclic condition.
+bool triple_blocks(const KPartiteInstance& inst, const KaryMatching& matching,
+                   Index m, Index w, Index u);
+
+/// First blocking triple in lexicographic order, or nullopt if cyclically
+/// stable. O(n³).
+std::optional<BlockingTriple> find_blocking_triple(const KPartiteInstance& inst,
+                                                   const KaryMatching& matching);
+
+/// Exhaustive search over all (n!)² matchings for a cyclically stable one.
+/// Requires inst.genders() == 3; practical for n <= 5.
+std::optional<KaryMatching> find_stable_exhaustive(const KPartiteInstance& inst);
+
+struct LocalSearchResult {
+  std::optional<KaryMatching> matching;  ///< set iff converged to stability
+  std::int64_t repairs = 0;              ///< blocking triples satisfied
+  bool converged = false;
+};
+
+/// Blocking-triple repair: start from the identity matching and repeatedly
+/// satisfy the first blocking triple found (two member swaps put the triple
+/// together). May cycle — stops after `max_repairs` repairs. This is the
+/// honest baseline: no polynomial algorithm with a guarantee is known for the
+/// cyclic model, in contrast to the paper's Algorithm 1.
+LocalSearchResult local_search(const KPartiteInstance& inst,
+                               std::int64_t max_repairs);
+
+}  // namespace kstable::c3d

@@ -1,0 +1,177 @@
+#include "core/equivalence.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace kstable::core {
+
+UnionFind::UnionFind(std::int32_t size) {
+  KSTABLE_REQUIRE(size >= 0, "negative union-find size");
+  parent_.resize(static_cast<std::size_t>(size));
+  rank_.assign(static_cast<std::size_t>(size), 0);
+  for (std::int32_t i = 0; i < size; ++i) parent_[static_cast<std::size_t>(i)] = i;
+}
+
+std::int32_t UnionFind::find(std::int32_t x) {
+  KSTABLE_ASSERT(x >= 0 && x < size());
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    // Path halving.
+    parent_[static_cast<std::size_t>(x)] =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::int32_t x, std::int32_t y) {
+  std::int32_t rx = find(x);
+  std::int32_t ry = find(y);
+  if (rx == ry) return false;
+  if (rank_[static_cast<std::size_t>(rx)] < rank_[static_cast<std::size_t>(ry)]) {
+    std::swap(rx, ry);
+  }
+  parent_[static_cast<std::size_t>(ry)] = rx;
+  if (rank_[static_cast<std::size_t>(rx)] == rank_[static_cast<std::size_t>(ry)]) {
+    ++rank_[static_cast<std::size_t>(rx)];
+  }
+  return true;
+}
+
+EquivalenceReport derive_families(const KPartiteInstance& inst,
+                                  const BindingStructure& structure,
+                                  std::span<const gs::GsResult> edge_results) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  KSTABLE_REQUIRE(structure.genders() == k, "structure genders "
+                      << structure.genders() << " != instance genders " << k);
+  KSTABLE_REQUIRE(edge_results.size() == structure.edges().size(),
+                  "got " << edge_results.size() << " edge results for "
+                         << structure.edges().size() << " edges");
+
+  EquivalenceReport report;
+  UnionFind uf(k * n);
+  for (std::size_t e = 0; e < edge_results.size(); ++e) {
+    const auto& r = edge_results[e];
+    const auto& edge = structure.edges()[e];
+    KSTABLE_REQUIRE(r.proposer_gender == edge.a && r.responder_gender == edge.b,
+                    "edge result " << e << " is GS(" << r.proposer_gender << ','
+                                   << r.responder_gender << ") but edge is ("
+                                   << edge.a << ',' << edge.b << ")");
+    for (Index p = 0; p < n; ++p) {
+      const Index q = r.proposer_match[static_cast<std::size_t>(p)];
+      uf.unite(flat_id({edge.a, p}, n), flat_id({edge.b, q}, n));
+    }
+  }
+
+  // Gender-level components drive the expected class shape.
+  const auto gender_component = structure.component_labels();
+
+  // Collect classes.
+  std::vector<std::vector<std::int32_t>> classes;  // members (flat) per class
+  std::vector<std::int32_t> class_of_root(static_cast<std::size_t>(k * n), -1);
+  for (std::int32_t f = 0; f < k * n; ++f) {
+    const std::int32_t root = uf.find(f);
+    auto& cls = class_of_root[static_cast<std::size_t>(root)];
+    if (cls == -1) {
+      cls = static_cast<std::int32_t>(classes.size());
+      classes.emplace_back();
+    }
+    classes[static_cast<std::size_t>(cls)].push_back(f);
+  }
+  report.class_count = static_cast<std::int32_t>(classes.size());
+
+  // Validate each class: all members in one gender-component, exactly one
+  // member per gender of that component.
+  const Gender component_count =
+      static_cast<Gender>([&gender_component] {
+        auto labels = gender_component;
+        std::sort(labels.begin(), labels.end());
+        return std::unique(labels.begin(), labels.end()) - labels.begin();
+      }());
+  // classes_by_component[label] -> list of class ids.
+  std::vector<std::vector<std::int32_t>> classes_by_component(
+      static_cast<std::size_t>(k));  // indexed by component label (a gender id)
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    std::vector<std::int32_t> gender_count(static_cast<std::size_t>(k), 0);
+    const std::int32_t label = gender_component[static_cast<std::size_t>(
+        member_of(classes[c].front(), n).gender)];
+    for (const std::int32_t f : classes[c]) {
+      const MemberId m = member_of(f, n);
+      ++gender_count[static_cast<std::size_t>(m.gender)];
+      if (gender_component[static_cast<std::size_t>(m.gender)] != label) {
+        // Cannot happen: union edges stay within a component by construction.
+        report.inconsistency = "class spans binding components";
+        return report;
+      }
+    }
+    for (Gender g = 0; g < k; ++g) {
+      const bool in_component =
+          gender_component[static_cast<std::size_t>(g)] == label;
+      const std::int32_t expected = in_component ? 1 : 0;
+      if (gender_count[static_cast<std::size_t>(g)] != expected) {
+        std::ostringstream os;
+        os << "equivalence class has " << gender_count[static_cast<std::size_t>(g)]
+           << " members of gender " << g << " (expected " << expected
+           << "); binding structure "
+           << (structure.has_cycle() ? "contains a cycle" : "is acyclic");
+        report.inconsistency = os.str();
+        return report;
+      }
+    }
+    classes_by_component[static_cast<std::size_t>(label)].push_back(
+        static_cast<std::int32_t>(c));
+  }
+
+  // Each component must contribute exactly n classes.
+  for (Gender label = 0; label < k; ++label) {
+    auto& ids = classes_by_component[static_cast<std::size_t>(label)];
+    if (ids.empty()) continue;  // not a component label
+    if (static_cast<Index>(ids.size()) != n) {
+      std::ostringstream os;
+      os << "component " << label << " produced " << ids.size()
+         << " classes, expected " << n;
+      report.inconsistency = os.str();
+      return report;
+    }
+    // Deterministic assembly order: sort by the index of the class's member
+    // of the component's smallest gender.
+    auto anchor_index = [&](std::int32_t cls) {
+      Index best_index = -1;
+      Gender best_gender = k;
+      for (const std::int32_t f : classes[static_cast<std::size_t>(cls)]) {
+        const MemberId m = member_of(f, n);
+        if (m.gender < best_gender) {
+          best_gender = m.gender;
+          best_index = m.index;
+        }
+      }
+      return best_index;
+    };
+    std::sort(ids.begin(), ids.end(), [&](std::int32_t a, std::int32_t b) {
+      return anchor_index(a) < anchor_index(b);
+    });
+  }
+
+  // Assemble: family t = union over components of their t-th class.
+  std::vector<Index> families(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(k), Index{-1});
+  for (Gender label = 0; label < k; ++label) {
+    const auto& ids = classes_by_component[static_cast<std::size_t>(label)];
+    for (Index t = 0; t < static_cast<Index>(ids.size()); ++t) {
+      for (const std::int32_t f :
+           classes[static_cast<std::size_t>(ids[static_cast<std::size_t>(t)])]) {
+        const MemberId m = member_of(f, n);
+        families[static_cast<std::size_t>(t) * static_cast<std::size_t>(k) +
+                 static_cast<std::size_t>(m.gender)] = m.index;
+      }
+    }
+  }
+  report.consistent = true;
+  report.matching.emplace(k, n, std::move(families));
+  KSTABLE_ENSURE(component_count >= 1, "component bookkeeping broke");
+  return report;
+}
+
+}  // namespace kstable::core

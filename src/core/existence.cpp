@@ -1,0 +1,101 @@
+#include "core/existence.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kstable::core {
+
+BinaryMatchingKP theorem1_perfect_matching(Gender k, Index n) {
+  KSTABLE_REQUIRE((static_cast<std::int64_t>(k) * n) % 2 == 0,
+                  "perfect matching needs an even node count, k=" << k
+                      << " n=" << n);
+  const auto total = static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+  std::vector<std::int32_t> partner(total, -1);
+  if (k % 2 == 0) {
+    // Pair gender 2t with gender 2t+1, index-wise.
+    for (Gender g = 0; g < k; g += 2) {
+      for (Index i = 0; i < n; ++i) {
+        const std::int32_t a = flat_id({g, i}, n);
+        const std::int32_t b = flat_id({static_cast<Gender>(g + 1), i}, n);
+        partner[static_cast<std::size_t>(a)] = b;
+        partner[static_cast<std::size_t>(b)] = a;
+      }
+    }
+  } else {
+    KSTABLE_REQUIRE(n % 2 == 0, "odd k requires even n (even total nodes)");
+    // (G'_g, G''_{g+1}): first half of gender g pairs with second half of
+    // gender g+1 (mod k), index-aligned.
+    const Index half = n / 2;
+    for (Gender g = 0; g < k; ++g) {
+      const Gender next = static_cast<Gender>((g + 1) % k);
+      for (Index i = 0; i < half; ++i) {
+        const std::int32_t a = flat_id({g, i}, n);
+        const std::int32_t b = flat_id({next, static_cast<Index>(half + i)}, n);
+        partner[static_cast<std::size_t>(a)] = b;
+        partner[static_cast<std::size_t>(b)] = a;
+      }
+    }
+  }
+  return BinaryMatchingKP(k, n, std::move(partner));
+}
+
+rm::RoommatesInstance theorem1_adversarial_roommates(Gender k, Index n,
+                                                     Rng& rng,
+                                                     Gender pariah_gender) {
+  KSTABLE_REQUIRE(k > 2, "the adversarial construction needs k > 2");
+  KSTABLE_REQUIRE(pariah_gender >= 0 && pariah_gender < k,
+                  "pariah gender " << pariah_gender << " out of range");
+  const auto person = [n](Gender g, Index i) { return flat_id({g, i}, n); };
+  const rm::Person pariah = person(pariah_gender, 0);
+
+  // Base: each member's combined list = random permutation of all
+  // other-gender members.
+  std::vector<std::vector<rm::Person>> lists(
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
+  for (Gender g = 0; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      auto& list = lists[static_cast<std::size_t>(person(g, i))];
+      for (Gender h = 0; h < k; ++h) {
+        if (h == g) continue;
+        for (Index j = 0; j < n; ++j) list.push_back(person(h, j));
+      }
+      rng.shuffle(list);
+    }
+  }
+
+  // (1) Pariah last everywhere.
+  for (Gender g = 0; g < k; ++g) {
+    if (g == pariah_gender) continue;
+    for (Index i = 0; i < n; ++i) {
+      auto& list = lists[static_cast<std::size_t>(person(g, i))];
+      auto it = std::find(list.begin(), list.end(), pariah);
+      KSTABLE_ASSERT(it != list.end());
+      list.erase(it);
+      list.push_back(pariah);
+    }
+  }
+
+  // (2) Gender-alternating top-choice cycle over the other k-1 genders
+  // (member-major interleaving guarantees adjacent entries differ in gender).
+  std::vector<Gender> others;
+  for (Gender g = 0; g < k; ++g) {
+    if (g != pariah_gender) others.push_back(g);
+  }
+  std::vector<rm::Person> cycle;
+  for (Index i = 0; i < n; ++i) {
+    for (const Gender g : others) cycle.push_back(person(g, i));
+  }
+  for (std::size_t pos = 0; pos < cycle.size(); ++pos) {
+    const rm::Person from = cycle[pos];
+    const rm::Person to = cycle[(pos + 1) % cycle.size()];
+    auto& list = lists[static_cast<std::size_t>(from)];
+    auto it = std::find(list.begin(), list.end(), to);
+    KSTABLE_ASSERT(it != list.end());
+    list.erase(it);
+    list.insert(list.begin(), to);
+  }
+  return rm::RoommatesInstance(std::move(lists));
+}
+
+}  // namespace kstable::core

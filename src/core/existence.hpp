@@ -1,0 +1,34 @@
+// Existence constructions of §III.A (Theorem 1).
+//
+// Theorem 1 has two halves: (a) for k > 2 there are preference lists under
+// which NO stable binary matching exists — built here as a combined-ranking
+// roommates instance (the binary-matching model of §III ranks all
+// other-gender members in one total order); (b) a PERFECT binary matching
+// always exists when the node count is even — built here constructively,
+// following the proof's pairing scheme (gender-pairing for even k; the
+// half-split cyclic pairing (G'_1,G''_2), ..., (G'_k,G''_1) for odd k).
+#pragma once
+
+#include "prefs/matching.hpp"
+#include "roommates/instance.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::core {
+
+/// The Theorem 1 proof's perfect binary matching. Requires k*n even.
+/// Even k: gender 2t pairs index-wise with gender 2t+1. Odd k (n even):
+/// the first half of gender g pairs with the second half of gender g+1 (mod k).
+BinaryMatchingKP theorem1_perfect_matching(Gender k, Index n);
+
+/// The Theorem 1 adversarial preference lists, in the combined-ranking model:
+///  (1) the pariah (pariah_gender, 0) is ranked last by every other member;
+///  (2) members of the other k-1 genders sit on a gender-alternating cycle
+///      and rank their successor first (so each is ranked first by exactly
+///      one member of a different gender among those k-1 sets).
+/// Remaining positions are filled from `rng`. For k > 2 the returned
+/// instance has a perfect matching but NO stable binary matching.
+rm::RoommatesInstance theorem1_adversarial_roommates(Gender k, Index n,
+                                                     Rng& rng,
+                                                     Gender pariah_gender = 0);
+
+}  // namespace kstable::core

@@ -1,0 +1,61 @@
+#include "core/oriented_binding.hpp"
+
+#include "util/check.hpp"
+
+namespace kstable::core {
+
+OrientedBindingResult oriented_binding(const KPartiteInstance& inst,
+                                       const BindingStructure& tree,
+                                       OrientationPolicy policy,
+                                       const BindingOptions& options) {
+  KSTABLE_REQUIRE(tree.is_spanning_tree(),
+                  "oriented binding requires a spanning tree");
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+
+  OrientedBindingResult result{
+      {}, BindingStructure(k),
+      std::vector<std::int64_t>(static_cast<std::size_t>(k), 0)};
+
+  std::size_t edge_index = 0;
+  for (const auto& edge : tree.edges()) {
+    GenderEdge oriented = edge;
+    switch (policy) {
+      case OrientationPolicy::as_given:
+        break;
+      case OrientationPolicy::alternate:
+        if (edge_index % 2 == 1) oriented = {edge.b, edge.a};
+        break;
+      case OrientationPolicy::balance_greedy: {
+        // The currently unhappier gender proposes (proposer advantage).
+        const auto cost_a =
+            result.gender_cost[static_cast<std::size_t>(edge.a)];
+        const auto cost_b =
+            result.gender_cost[static_cast<std::size_t>(edge.b)];
+        if (cost_b > cost_a) oriented = {edge.b, edge.a};
+        break;
+      }
+    }
+    ++edge_index;
+    result.oriented.add_edge(oriented);
+    auto gs_result = run_binding(inst, oriented, options);
+    // Accumulate both sides' partner-rank costs for the balancing policy.
+    for (Index p = 0; p < n; ++p) {
+      const Index r = gs_result.proposer_match[static_cast<std::size_t>(p)];
+      result.gender_cost[static_cast<std::size_t>(oriented.a)] +=
+          inst.rank_of({oriented.a, p}, {oriented.b, r});
+      result.gender_cost[static_cast<std::size_t>(oriented.b)] +=
+          inst.rank_of({oriented.b, r}, {oriented.a, p});
+    }
+    result.binding.edge_results.push_back(std::move(gs_result));
+    result.binding.total_proposals +=
+        result.binding.edge_results.back().proposals;
+  }
+  result.binding.equivalence =
+      derive_families(inst, result.oriented, result.binding.edge_results);
+  KSTABLE_ENSURE(result.binding.equivalence.consistent,
+                 "oriented spanning-tree binding must be consistent");
+  return result;
+}
+
+}  // namespace kstable::core

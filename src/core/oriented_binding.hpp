@@ -1,0 +1,38 @@
+// Orientation-aware binding: extending the paper's fairness discussion
+// (§II.A/§III.B: GS favors proposers) to Algorithm 1.
+//
+// Every binding edge names a proposer and a responder ("each matching process
+// corresponds a proposer ... to a responder", §IV.B), and the proposer side
+// of each edge systematically gets better partners (E15's orientation
+// ablation). This module selects orientations under a policy:
+//   as_given        — use the tree's stored orientations (Algorithm 1 as-is);
+//   alternate       — flip every other edge (cheap spread of the advantage);
+//   balance_greedy  — run edges in order, orienting each so the gender with
+//                     the larger accumulated partner-rank cost proposes
+//                     (proposing is the advantaged role, so the unhappier
+//                     side catches up).
+// The matching remains stable regardless (Theorem 2 holds per orientation).
+#pragma once
+
+#include "core/binding.hpp"
+
+namespace kstable::core {
+
+enum class OrientationPolicy { as_given, alternate, balance_greedy };
+
+struct OrientedBindingResult {
+  BindingResult binding;
+  BindingStructure oriented;  ///< the tree with the chosen orientations
+  /// Accumulated per-gender bound-pair cost, the quantity balance_greedy
+  /// steers (index = gender).
+  std::vector<std::int64_t> gender_cost;
+};
+
+/// Binds `tree` under `policy`. The structure of the tree (which genders are
+/// adjacent) is fixed; only proposer/responder roles change.
+OrientedBindingResult oriented_binding(const KPartiteInstance& inst,
+                                       const BindingStructure& tree,
+                                       OrientationPolicy policy,
+                                       const BindingOptions& options = {});
+
+}  // namespace kstable::core

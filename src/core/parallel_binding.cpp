@@ -1,0 +1,71 @@
+#include "core/parallel_binding.hpp"
+
+#include "graph/scheduling.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace kstable::core {
+
+ParallelBindingReport execute_binding(const KPartiteInstance& inst,
+                                      const BindingStructure& tree,
+                                      ExecutionMode mode, ThreadPool& pool) {
+  KSTABLE_REQUIRE(tree.is_forest(),
+                  "parallel binding requires an acyclic structure");
+  const auto& edges = tree.edges();
+  ParallelBindingReport report;
+  report.binding.edge_results.resize(edges.size());
+
+  WallTimer timer;
+  switch (mode) {
+    case ExecutionMode::sequential: {
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        report.binding.edge_results[e] =
+            gs::gale_shapley_queue(inst, edges[e].a, edges[e].b);
+      }
+      report.rounds_executed = static_cast<std::int64_t>(edges.size());
+      break;
+    }
+    case ExecutionMode::erew_rounds: {
+      const auto schedule = sched::color_forest(tree);
+      for (const auto& round : schedule.rounds) {
+        pool.for_each_index(round.size(), [&](std::size_t slot) {
+          const std::size_t e = round[slot];
+          report.binding.edge_results[e] =
+              gs::gale_shapley_queue(inst, edges[e].a, edges[e].b);
+        });
+      }
+      report.rounds_executed =
+          static_cast<std::int64_t>(schedule.round_count());
+      break;
+    }
+    case ExecutionMode::crew_full: {
+      pool.for_each_index(edges.size(), [&](std::size_t e) {
+        report.binding.edge_results[e] =
+            gs::gale_shapley_queue(inst, edges[e].a, edges[e].b);
+      });
+      report.rounds_executed = edges.empty() ? 0 : 1;
+      break;
+    }
+  }
+  report.wall_seconds = timer.seconds();
+
+  for (const auto& r : report.binding.edge_results) {
+    report.binding.total_proposals += r.proposals;
+    report.edge_proposals.push_back(r.proposals);
+  }
+  report.binding.equivalence =
+      derive_families(inst, tree, report.binding.edge_results);
+  KSTABLE_ENSURE(!tree.is_spanning_tree() || report.binding.equivalence.consistent,
+                 "spanning-tree parallel binding produced inconsistent classes");
+
+  const pram::Model model = mode == ExecutionMode::sequential
+                                ? pram::Model::erew
+                                : mode == ExecutionMode::erew_rounds
+                                      ? pram::Model::erew
+                                      : pram::Model::crew;
+  report.cost =
+      pram::charge(tree, report.edge_proposals, model, inst.per_gender());
+  return report;
+}
+
+}  // namespace kstable::core

@@ -1,0 +1,166 @@
+#include "core/supergender.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kstable::core {
+
+void SupergenderPartition::validate(Gender original_k) const {
+  KSTABLE_REQUIRE(groups.size() >= 2, "need at least two super-genders");
+  const std::size_t group_size = groups.front().size();
+  KSTABLE_REQUIRE(group_size >= 1, "empty super-gender group");
+  std::vector<bool> seen(static_cast<std::size_t>(original_k), false);
+  for (const auto& group : groups) {
+    KSTABLE_REQUIRE(group.size() == group_size,
+                    "super-gender groups must have equal size (balanced "
+                    "derived instance); got " << group.size() << " vs "
+                        << group_size);
+    for (const Gender g : group) {
+      KSTABLE_REQUIRE(g >= 0 && g < original_k,
+                      "gender " << g << " out of range");
+      KSTABLE_REQUIRE(!seen[static_cast<std::size_t>(g)],
+                      "gender " << g << " appears in two groups");
+      seen[static_cast<std::size_t>(g)] = true;
+    }
+  }
+  for (Gender g = 0; g < original_k; ++g) {
+    KSTABLE_REQUIRE(seen[static_cast<std::size_t>(g)],
+                    "gender " << g << " missing from the partition");
+  }
+}
+
+SupergenderPartition SupergenderPartition::contiguous(Gender original_k,
+                                                      Gender group_size) {
+  KSTABLE_REQUIRE(group_size >= 1 && original_k % group_size == 0,
+                  "group size " << group_size << " does not divide k="
+                                << original_k);
+  SupergenderPartition partition;
+  for (Gender start = 0; start < original_k; start += group_size) {
+    std::vector<Gender> group;
+    for (Gender offset = 0; offset < group_size; ++offset) {
+      group.push_back(start + offset);
+    }
+    partition.groups.push_back(std::move(group));
+  }
+  return partition;
+}
+
+MemberId SupergenderSystem::original(MemberId derived_member) const {
+  const auto& group =
+      partition.groups[static_cast<std::size_t>(derived_member.gender)];
+  const auto slot = static_cast<std::size_t>(derived_member.index / original_n);
+  KSTABLE_REQUIRE(slot < group.size(),
+                  "derived member " << derived_member << " out of range");
+  return {group[slot], derived_member.index % original_n};
+}
+
+MemberId SupergenderSystem::derived_id(MemberId original_member) const {
+  for (std::size_t G = 0; G < partition.groups.size(); ++G) {
+    const auto& group = partition.groups[G];
+    const auto it =
+        std::find(group.begin(), group.end(), original_member.gender);
+    if (it != group.end()) {
+      const auto slot = static_cast<Index>(it - group.begin());
+      return {static_cast<Gender>(G), slot * original_n + original_member.index};
+    }
+  }
+  KSTABLE_REQUIRE(false, "gender " << original_member.gender
+                                   << " not in the partition");
+  return {};
+}
+
+SupergenderSystem derive_supergender_system(const KPartiteInstance& inst,
+                                            const SupergenderPartition& partition,
+                                            rm::Linearization lin, Rng* rng) {
+  partition.validate(inst.genders());
+  const Index n = inst.per_gender();
+  const auto super_k = static_cast<Gender>(partition.groups.size());
+  const auto c = static_cast<Index>(partition.groups.front().size());
+  const Index super_n = n * c;
+
+  SupergenderSystem system{KPartiteInstance(super_k, super_n), partition, n};
+
+  // Derived index of original member (h, idx) inside super-gender H.
+  auto derived_index = [&](Gender H, Gender h, Index idx) {
+    const auto& group = partition.groups[static_cast<std::size_t>(H)];
+    const auto slot = static_cast<Index>(
+        std::find(group.begin(), group.end(), h) - group.begin());
+    return slot * n + idx;
+  };
+
+  for (Gender G = 0; G < super_k; ++G) {
+    for (Index j = 0; j < super_n; ++j) {
+      const MemberId self = system.original({G, j});
+      for (Gender H = 0; H < super_k; ++H) {
+        if (H == G) continue;
+        const auto& group = partition.groups[static_cast<std::size_t>(H)];
+        std::vector<Index> merged;
+        merged.reserve(static_cast<std::size_t>(super_n));
+        switch (lin) {
+          case rm::Linearization::round_robin:
+            for (Index r = 0; r < n; ++r) {
+              for (const Gender h : group) {
+                merged.push_back(derived_index(
+                    H, h, inst.pref_list(self, h)[static_cast<std::size_t>(r)]));
+              }
+            }
+            break;
+          case rm::Linearization::gender_blocks:
+            for (const Gender h : group) {
+              for (const Index idx : inst.pref_list(self, h)) {
+                merged.push_back(derived_index(H, h, idx));
+              }
+            }
+            break;
+          case rm::Linearization::random_interleave: {
+            KSTABLE_REQUIRE(rng != nullptr,
+                            "random_interleave linearization needs an Rng");
+            std::vector<std::size_t> cursor(group.size(), 0);
+            std::size_t remaining = group.size();
+            while (remaining > 0) {
+              auto pick = rng->below(remaining);
+              for (std::size_t gi = 0; gi < group.size(); ++gi) {
+                if (cursor[gi] >= static_cast<std::size_t>(n)) continue;
+                if (pick-- == 0) {
+                  const Gender h = group[gi];
+                  merged.push_back(derived_index(
+                      H, h, inst.pref_list(self, h)[cursor[gi]++]));
+                  if (cursor[gi] == static_cast<std::size_t>(n)) --remaining;
+                  break;
+                }
+              }
+            }
+            break;
+          }
+        }
+        system.derived.set_pref_list({G, j}, H, merged);
+      }
+    }
+  }
+  system.derived.validate();
+  return system;
+}
+
+CoalitionResult coalition_binding(const KPartiteInstance& inst,
+                                  const SupergenderPartition& partition,
+                                  rm::Linearization lin, Rng* rng) {
+  CoalitionResult result{
+      derive_supergender_system(inst, partition, lin, rng), {}, {}};
+  const auto super_k = result.system.derived.genders();
+  result.binding =
+      iterative_binding(result.system.derived, trees::path(super_k));
+  const auto& matching = result.binding.matching();
+  result.coalitions.reserve(static_cast<std::size_t>(matching.family_count()));
+  for (Index t = 0; t < matching.family_count(); ++t) {
+    Coalition coalition;
+    for (Gender G = 0; G < super_k; ++G) {
+      coalition.members.push_back(
+          result.system.original(matching.member_at(t, G)));
+    }
+    result.coalitions.push_back(std::move(coalition));
+  }
+  return result;
+}
+
+}  // namespace kstable::core

@@ -1,0 +1,78 @@
+// k-ary matching in k'-partite graphs (paper §VII future work: "a more
+// general k-ary matching in k'-partite graphs, where k < k' and ck = nk' for
+// some constant c").
+//
+// Construction: partition the k' genders into k equally-sized *super-genders*
+// of c = k'/k genders each. A member's preferences over a super-gender are
+// the linearized merge of its per-gender lists over that group (the same
+// footnote-4 linearization the binary front-end uses). The derived system is
+// a balanced complete k-partite instance with n·c members per super-gender,
+// so Algorithm 1 applies verbatim and Theorem 2 gives a stable k-ary matching
+// of the derived instance: n·c families of k members, one per super-gender —
+// exactly ck = nk' members matched, the paper's constraint.
+//
+// Note the semantics: stability is with respect to the *linearized*
+// preferences; members of the same original gender can now appear in
+// different roles across families (each family holds one member per
+// super-gender, of whichever original gender).
+#pragma once
+
+#include <vector>
+
+#include "core/binding.hpp"
+#include "roommates/adapters.hpp"  // rm::Linearization
+
+namespace kstable::core {
+
+/// A partition of the original k' genders into equally-sized groups.
+struct SupergenderPartition {
+  std::vector<std::vector<Gender>> groups;
+
+  /// Validates against an instance: groups disjoint, covering, equal size.
+  void validate(Gender original_k) const;
+
+  /// Contiguous partition: groups of `c` consecutive genders.
+  static SupergenderPartition contiguous(Gender original_k, Gender group_size);
+};
+
+/// The derived super-gender instance plus the member mapping back to the
+/// original instance.
+struct SupergenderSystem {
+  KPartiteInstance derived;         ///< balanced k-partite, super_n per gender
+  SupergenderPartition partition;
+  Index original_n = 0;
+
+  /// Original member behind derived member (G, j).
+  [[nodiscard]] MemberId original(MemberId derived_member) const;
+  /// Derived member id of an original member (its group becomes the gender).
+  [[nodiscard]] MemberId derived_id(MemberId original_member) const;
+};
+
+/// Builds the derived instance. `lin` controls how a member's per-gender
+/// lists merge into one order over each super-gender; `rng` is only needed
+/// for Linearization::random_interleave.
+SupergenderSystem derive_supergender_system(const KPartiteInstance& inst,
+                                            const SupergenderPartition& partition,
+                                            rm::Linearization lin,
+                                            Rng* rng = nullptr);
+
+/// One coalition: k original members, one per super-gender.
+struct Coalition {
+  std::vector<MemberId> members;
+};
+
+struct CoalitionResult {
+  SupergenderSystem system;
+  BindingResult binding;           ///< Algorithm 1 result on the derived instance
+  std::vector<Coalition> coalitions;  ///< n·c coalitions of k original members
+};
+
+/// End-to-end: derive the super-gender system, run Algorithm 1 on `tree`
+/// (path tree over super-genders if unset), map families back to original
+/// members. Theorem 2 applies to the derived instance, so the coalition set
+/// is stable w.r.t. the linearized preferences.
+CoalitionResult coalition_binding(const KPartiteInstance& inst,
+                                  const SupergenderPartition& partition,
+                                  rm::Linearization lin, Rng* rng = nullptr);
+
+}  // namespace kstable::core

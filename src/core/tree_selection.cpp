@@ -1,0 +1,56 @@
+#include "core/tree_selection.hpp"
+
+#include <algorithm>
+
+#include "core/equivalence.hpp"
+#include "util/check.hpp"
+
+namespace kstable::core {
+
+std::vector<PairProbe> probe_all_pairs(const KPartiteInstance& inst) {
+  const Gender k = inst.genders();
+  std::vector<PairProbe> probes;
+  probes.reserve(static_cast<std::size_t>(k) * static_cast<std::size_t>(k - 1) / 2);
+  for (Gender a = 0; a < k; ++a) {
+    for (Gender b = a + 1; b < k; ++b) {
+      PairProbe probe;
+      probe.edge = {a, b};
+      const auto result = gs::gale_shapley_queue(inst, a, b);
+      probe.proposals = result.proposals;
+      for (Index p = 0; p < inst.per_gender(); ++p) {
+        const Index r = result.proposer_match[static_cast<std::size_t>(p)];
+        probe.cost += inst.rank_of({a, p}, {b, r});
+        probe.cost += inst.rank_of({b, r}, {a, p});
+      }
+      probes.push_back(probe);
+    }
+  }
+  return probes;
+}
+
+BindingStructure select_tree(const KPartiteInstance& inst,
+                             TreeObjective objective) {
+  auto probes = probe_all_pairs(inst);
+  std::sort(probes.begin(), probes.end(),
+            [objective](const PairProbe& x, const PairProbe& y) {
+              return objective == TreeObjective::min_cost ? x.cost < y.cost
+                                                          : x.cost > y.cost;
+            });
+  // Kruskal: take edges in score order, skipping cycle-closers.
+  BindingStructure tree(inst.genders());
+  for (const auto& probe : probes) {
+    if (tree.is_spanning_tree()) break;
+    if (!tree.would_cycle(probe.edge.a, probe.edge.b)) {
+      tree.add_edge(probe.edge);
+    }
+  }
+  KSTABLE_ENSURE(tree.is_spanning_tree(), "Kruskal failed to span");
+  return tree;
+}
+
+BindingResult cost_aware_binding(const KPartiteInstance& inst,
+                                 TreeObjective objective) {
+  return iterative_binding(inst, select_tree(inst, objective));
+}
+
+}  // namespace kstable::core

@@ -1,0 +1,125 @@
+#include "graph/binding_structure.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace kstable {
+
+BindingStructure::BindingStructure(Gender k) : k_(k) {
+  KSTABLE_REQUIRE(k >= 1, "binding structure needs k >= 1, got " << k);
+  adj_.resize(static_cast<std::size_t>(k));
+}
+
+void BindingStructure::add_edge(GenderEdge e) {
+  KSTABLE_REQUIRE(e.a >= 0 && e.a < k_ && e.b >= 0 && e.b < k_,
+                  "edge (" << e.a << ',' << e.b << ") out of range, k=" << k_);
+  KSTABLE_REQUIRE(e.a != e.b, "self-binding of gender " << e.a << " rejected");
+  for (const auto& existing : edges_) {
+    KSTABLE_REQUIRE(existing.normalized() != e.normalized(),
+                    "duplicate binding edge (" << e.a << ',' << e.b << ")");
+  }
+  edges_.push_back(e);
+  adj_[static_cast<std::size_t>(e.a)].push_back(e.b);
+  adj_[static_cast<std::size_t>(e.b)].push_back(e.a);
+}
+
+std::vector<std::int32_t> BindingStructure::component_labels() const {
+  // Union-find over genders (k is small: at most a few dozen genders).
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(k_));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](std::int32_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& e : edges_) {
+    const std::int32_t ra = find(e.a), rb = find(e.b);
+    if (ra != rb) parent[static_cast<std::size_t>(ra)] = rb;
+  }
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(k_));
+  for (Gender g = 0; g < k_; ++g) labels[static_cast<std::size_t>(g)] = find(g);
+  return labels;
+}
+
+bool BindingStructure::would_cycle(Gender i, Gender j) const {
+  KSTABLE_REQUIRE(i >= 0 && i < k_ && j >= 0 && j < k_ && i != j,
+                  "would_cycle(" << i << ',' << j << ") invalid, k=" << k_);
+  const auto labels = component_labels();
+  return labels[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(j)];
+}
+
+std::int32_t BindingStructure::degree(Gender g) const {
+  KSTABLE_REQUIRE(g >= 0 && g < k_, "degree: gender " << g << " out of range");
+  return static_cast<std::int32_t>(adj_[static_cast<std::size_t>(g)].size());
+}
+
+std::int32_t BindingStructure::max_degree() const {
+  std::int32_t best = 0;
+  for (const auto& nbrs : adj_) {
+    best = std::max(best, static_cast<std::int32_t>(nbrs.size()));
+  }
+  return best;
+}
+
+std::int32_t BindingStructure::component_count() const {
+  auto labels = component_labels();
+  std::sort(labels.begin(), labels.end());
+  return static_cast<std::int32_t>(
+      std::unique(labels.begin(), labels.end()) - labels.begin());
+}
+
+bool BindingStructure::has_cycle() const {
+  // An acyclic edge set satisfies |E| = k - #components exactly.
+  return static_cast<std::int32_t>(edges_.size()) != k_ - component_count();
+}
+
+bool BindingStructure::is_spanning_tree() const {
+  return component_count() == 1 &&
+         static_cast<std::int32_t>(edges_.size()) == k_ - 1;
+}
+
+std::vector<Gender> BindingStructure::neighbors(Gender g) const {
+  KSTABLE_REQUIRE(g >= 0 && g < k_, "neighbors: gender " << g << " out of range");
+  return adj_[static_cast<std::size_t>(g)];
+}
+
+namespace trees {
+
+BindingStructure path(Gender k) {
+  BindingStructure t(k);
+  for (Gender g = 0; g + 1 < k; ++g) t.add_edge({g, static_cast<Gender>(g + 1)});
+  return t;
+}
+
+BindingStructure star(Gender k, Gender center) {
+  KSTABLE_REQUIRE(center >= 0 && center < k,
+                  "star center " << center << " out of range, k=" << k);
+  BindingStructure t(k);
+  for (Gender g = 0; g < k; ++g) {
+    if (g != center) t.add_edge({center, g});
+  }
+  return t;
+}
+
+BindingStructure caterpillar(Gender k, Gender spine) {
+  KSTABLE_REQUIRE(spine >= 1 && spine <= k,
+                  "caterpillar spine " << spine << " invalid for k=" << k);
+  BindingStructure t(k);
+  for (Gender g = 0; g + 1 < spine; ++g) {
+    t.add_edge({g, static_cast<Gender>(g + 1)});
+  }
+  // Remaining genders hang off the spine round-robin.
+  for (Gender g = spine; g < k; ++g) {
+    t.add_edge({static_cast<Gender>((g - spine) % spine), g});
+  }
+  return t;
+}
+
+}  // namespace trees
+
+}  // namespace kstable

@@ -1,0 +1,48 @@
+// Prüfer sequences: the bijection behind Cayley's formula (paper §IV.B cites
+// Cayley's k^(k-2) count of binding trees on k genders).
+//
+// encode/decode give a bijection between labeled trees on k >= 2 nodes and
+// sequences in {0..k-1}^(k-2); the E5 experiment enumerates/counts binding
+// trees through this bijection and sweeps binding results over tree shapes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/binding_structure.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::prufer {
+
+/// Prüfer sequence of a spanning tree (length k-2; empty for k = 2).
+std::vector<Gender> encode(const BindingStructure& tree);
+
+/// Tree for a Prüfer sequence over k = seq.size() + 2 labels.
+BindingStructure decode(const std::vector<Gender>& seq, Gender k);
+
+/// Uniformly random labeled tree on k genders (uniform Prüfer sequence).
+BindingStructure random_tree(Gender k, Rng& rng);
+
+/// k^(k-2) (Cayley); number of distinct binding trees. Saturates at
+/// INT64_MAX for large k.
+std::int64_t cayley_count(Gender k);
+
+/// Enumerates all k^(k-2) spanning trees for small k (k <= 8 recommended;
+/// 8^6 = 262144 trees). Calls `visit` with each tree.
+template <typename Visitor>
+void enumerate_trees(Gender k, Visitor&& visit) {
+  if (k == 1) return;
+  std::vector<Gender> seq(static_cast<std::size_t>(k > 2 ? k - 2 : 0), 0);
+  while (true) {
+    visit(decode(seq, k));
+    // Odometer increment over {0..k-1}^(k-2).
+    std::size_t pos = 0;
+    for (; pos < seq.size(); ++pos) {
+      if (++seq[pos] < k) break;
+      seq[pos] = 0;
+    }
+    if (pos == seq.size()) break;
+  }
+}
+
+}  // namespace kstable::prufer

@@ -1,0 +1,158 @@
+#include "graph/scheduling.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace kstable::sched {
+
+RoundSchedule color_forest(const BindingStructure& forest) {
+  KSTABLE_REQUIRE(forest.is_forest(), "round scheduling requires an acyclic "
+                                      "binding structure");
+  const Gender k = forest.genders();
+  const auto& edges = forest.edges();
+
+  // Map (normalized edge) -> edge index for O(1) lookup during BFS.
+  auto edge_index = [&edges](Gender x, Gender y) -> std::size_t {
+    for (std::size_t idx = 0; idx < edges.size(); ++idx) {
+      const auto norm = edges[idx].normalized();
+      if ((norm.a == x && norm.b == y) || (norm.a == y && norm.b == x)) {
+        return idx;
+      }
+    }
+    KSTABLE_REQUIRE(false, "edge (" << x << ',' << y << ") not found");
+    return 0;  // unreachable
+  };
+
+  std::vector<std::int32_t> color(edges.size(), -1);
+  std::vector<bool> visited(static_cast<std::size_t>(k), false);
+  std::int32_t max_color = -1;
+
+  for (Gender root = 0; root < k; ++root) {
+    if (visited[static_cast<std::size_t>(root)]) continue;
+    // BFS; each node assigns colors to its untraversed incident edges,
+    // skipping the color of the edge toward its parent. A tree needs exactly
+    // Δ colors this way.
+    std::queue<std::pair<Gender, std::int32_t>> frontier;  // (node, color of parent edge)
+    frontier.emplace(root, -1);
+    visited[static_cast<std::size_t>(root)] = true;
+    while (!frontier.empty()) {
+      const auto [node, parent_color] = frontier.front();
+      frontier.pop();
+      std::int32_t next = 0;
+      for (Gender nb : forest.neighbors(node)) {
+        if (visited[static_cast<std::size_t>(nb)]) continue;
+        if (next == parent_color) ++next;
+        const std::size_t idx = edge_index(node, nb);
+        color[idx] = next;
+        max_color = std::max(max_color, next);
+        visited[static_cast<std::size_t>(nb)] = true;
+        frontier.emplace(nb, next);
+        ++next;
+      }
+    }
+  }
+
+  RoundSchedule schedule;
+  schedule.rounds.resize(static_cast<std::size_t>(max_color + 1));
+  for (std::size_t idx = 0; idx < edges.size(); ++idx) {
+    schedule.rounds[static_cast<std::size_t>(color[idx])].push_back(idx);
+  }
+  validate_schedule(forest, schedule);
+  KSTABLE_ENSURE(static_cast<std::int32_t>(schedule.round_count()) ==
+                     (edges.empty() ? 0 : forest.max_degree()),
+                 "tree coloring should use exactly Δ rounds");
+  return schedule;
+}
+
+RoundSchedule even_odd_path_schedule(Gender k) {
+  KSTABLE_REQUIRE(k >= 2, "even-odd schedule needs k >= 2, got " << k);
+  // Edge i of the path connects genders (i, i+1); even-indexed edges form
+  // round 0, odd-indexed edges round 1 — Fig. 4's two phases.
+  RoundSchedule schedule;
+  schedule.rounds.resize(k > 2 ? 2 : 1);
+  for (Gender e = 0; e + 1 < k; ++e) {
+    schedule.rounds[static_cast<std::size_t>(e % 2)].push_back(
+        static_cast<std::size_t>(e));
+  }
+  return schedule;
+}
+
+void validate_schedule(const BindingStructure& structure,
+                       const RoundSchedule& schedule) {
+  const auto& edges = structure.edges();
+  std::vector<std::int32_t> seen(edges.size(), 0);
+  for (const auto& round : schedule.rounds) {
+    std::vector<bool> busy(static_cast<std::size_t>(structure.genders()), false);
+    for (std::size_t idx : round) {
+      KSTABLE_REQUIRE(idx < edges.size(),
+                      "schedule references edge " << idx << " of " << edges.size());
+      ++seen[idx];
+      const auto& e = edges[idx];
+      KSTABLE_REQUIRE(!busy[static_cast<std::size_t>(e.a)] &&
+                          !busy[static_cast<std::size_t>(e.b)],
+                      "round uses gender " << e.a << " or " << e.b << " twice");
+      busy[static_cast<std::size_t>(e.a)] = true;
+      busy[static_cast<std::size_t>(e.b)] = true;
+    }
+  }
+  for (std::size_t idx = 0; idx < edges.size(); ++idx) {
+    KSTABLE_REQUIRE(seen[idx] == 1, "edge " << idx << " scheduled " << seen[idx]
+                                            << " times");
+  }
+}
+
+bool is_bitonic_tree(const BindingStructure& tree,
+                     const std::vector<std::int32_t>& priority) {
+  KSTABLE_REQUIRE(tree.is_spanning_tree(), "bitonic check requires a tree");
+  const Gender k = tree.genders();
+  KSTABLE_REQUIRE(priority.size() == static_cast<std::size_t>(k),
+                  "priority vector size " << priority.size() << " != k=" << k);
+
+  // For every ordered pair (s, t), extract the unique tree path and test the
+  // priority sequence for bitonicity (monotone increase then decrease; either
+  // phase may be empty). k is small, so O(k^3) is fine.
+  std::vector<Gender> parent(static_cast<std::size_t>(k));
+  for (Gender s = 0; s < k; ++s) {
+    // BFS from s to get parents.
+    std::fill(parent.begin(), parent.end(), Gender{-1});
+    std::queue<Gender> frontier;
+    frontier.push(s);
+    parent[static_cast<std::size_t>(s)] = s;
+    while (!frontier.empty()) {
+      const Gender node = frontier.front();
+      frontier.pop();
+      for (Gender nb : tree.neighbors(node)) {
+        if (parent[static_cast<std::size_t>(nb)] == -1) {
+          parent[static_cast<std::size_t>(nb)] = node;
+          frontier.push(nb);
+        }
+      }
+    }
+    for (Gender t = s + 1; t < k; ++t) {
+      std::vector<std::int32_t> path_prio;
+      for (Gender cur = t; cur != s; cur = parent[static_cast<std::size_t>(cur)]) {
+        path_prio.push_back(priority[static_cast<std::size_t>(cur)]);
+      }
+      path_prio.push_back(priority[static_cast<std::size_t>(s)]);
+      // Bitonic test: climb while increasing, then require strictly
+      // decreasing to the end.
+      std::size_t pos = 1;
+      while (pos < path_prio.size() && path_prio[pos] > path_prio[pos - 1]) ++pos;
+      while (pos < path_prio.size() && path_prio[pos] < path_prio[pos - 1]) ++pos;
+      if (pos != path_prio.size()) return false;
+    }
+  }
+  return true;
+}
+
+bool is_bitonic_tree(const BindingStructure& tree) {
+  std::vector<std::int32_t> identity(static_cast<std::size_t>(tree.genders()));
+  for (Gender g = 0; g < tree.genders(); ++g) {
+    identity[static_cast<std::size_t>(g)] = g;
+  }
+  return is_bitonic_tree(tree, identity);
+}
+
+}  // namespace kstable::sched

@@ -1,0 +1,51 @@
+// Round scheduling of binding trees for parallel execution (paper §IV.C).
+//
+// Two binding edges can run concurrently iff they share no gender (under the
+// EREW PRAM discipline each gender's preference data is read/written by one
+// binary matching at a time). A valid schedule is therefore a proper edge
+// coloring; trees are class-1 graphs, so Δ rounds always suffice and are
+// necessary (Corollary 1). A path tree yields the 2-round even-odd schedule
+// of Fig. 4 (Corollary 2).
+#pragma once
+
+#include <vector>
+
+#include "graph/binding_structure.hpp"
+
+namespace kstable::sched {
+
+/// A schedule: rounds_[r] lists indices into structure.edges() that execute
+/// concurrently in round r.
+struct RoundSchedule {
+  std::vector<std::vector<std::size_t>> rounds;
+
+  [[nodiscard]] std::size_t round_count() const { return rounds.size(); }
+};
+
+/// Greedy tree edge coloring: exactly max_degree(tree) rounds for spanning
+/// trees and forests (requires an acyclic structure).
+RoundSchedule color_forest(const BindingStructure& forest);
+
+/// The Fig. 4 even-odd schedule for the path tree 0-1-...-(k-1): round 0 runs
+/// edges (0,1), (2,3), ...; round 1 runs edges (1,2), (3,4), ... Exactly the
+/// color_forest() result on a path, provided as an explicit constructor to
+/// mirror the paper's figure.
+RoundSchedule even_odd_path_schedule(Gender k);
+
+/// Validates that `schedule` covers every edge exactly once and no two edges
+/// in one round share a gender. Throws ContractViolation otherwise.
+void validate_schedule(const BindingStructure& structure,
+                       const RoundSchedule& schedule);
+
+/// True iff, under the priority order "gender id = priority" transformed by
+/// `priority` (priority[g] = priority value of gender g, all distinct), every
+/// path between two nodes of `tree` is a bitonic sequence of priorities
+/// (§IV.D). With the identity priority this is the paper's bitonic-tree
+/// definition verbatim.
+bool is_bitonic_tree(const BindingStructure& tree,
+                     const std::vector<std::int32_t>& priority);
+
+/// is_bitonic_tree with priority[g] = g.
+bool is_bitonic_tree(const BindingStructure& tree);
+
+}  // namespace kstable::sched

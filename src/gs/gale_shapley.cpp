@@ -1,0 +1,158 @@
+#include "gs/gale_shapley.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kstable::gs {
+
+namespace {
+
+void check_genders(const KPartiteInstance& inst, Gender i, Gender j) {
+  KSTABLE_REQUIRE(i >= 0 && i < inst.genders() && j >= 0 && j < inst.genders(),
+                  "GS(" << i << ',' << j << ") out of range, k="
+                        << inst.genders());
+  KSTABLE_REQUIRE(i != j, "GS(" << i << ',' << i << "): a gender cannot bind "
+                                   "to itself");
+}
+
+void finish(const KPartiteInstance& inst, GsResult& result) {
+  const Index n = inst.per_gender();
+  // Postcondition: perfect matching between the two genders.
+  for (Index p = 0; p < n; ++p) {
+    KSTABLE_ENSURE(result.proposer_match[static_cast<std::size_t>(p)] >= 0,
+                   "proposer " << p << " left unmatched");
+  }
+  for (Index r = 0; r < n; ++r) {
+    const Index p = result.responder_match[static_cast<std::size_t>(r)];
+    KSTABLE_ENSURE(p >= 0, "responder " << r << " left unmatched");
+    KSTABLE_ENSURE(result.proposer_match[static_cast<std::size_t>(p)] == r,
+                   "match arrays inconsistent at responder " << r);
+  }
+}
+
+}  // namespace
+
+GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
+                            const GsOptions& options) {
+  check_genders(inst, i, j);
+  const Index n = inst.per_gender();
+  GsResult result;
+  result.proposer_gender = i;
+  result.responder_gender = j;
+  result.proposer_match.assign(static_cast<std::size_t>(n), Index{-1});
+  result.responder_match.assign(static_cast<std::size_t>(n), Index{-1});
+
+  // next_choice[p]: rank of the next responder p will propose to.
+  std::vector<Index> next_choice(static_cast<std::size_t>(n), Index{0});
+  std::vector<Index> free_stack(static_cast<std::size_t>(n));
+  for (Index p = 0; p < n; ++p) {
+    free_stack[static_cast<std::size_t>(p)] = n - 1 - p;  // pop in index order
+  }
+
+  while (!free_stack.empty()) {
+    const Index p = free_stack.back();
+    free_stack.pop_back();
+    const auto list = inst.pref_list({i, p}, j);
+    KSTABLE_ASSERT(next_choice[static_cast<std::size_t>(p)] < n);
+    const Index r = list[static_cast<std::size_t>(
+        next_choice[static_cast<std::size_t>(p)]++)];
+    ++result.proposals;
+
+    const Index holder = result.responder_match[static_cast<std::size_t>(r)];
+    ProposalEvent event{p, r, false, -1};
+    if (holder < 0) {
+      result.responder_match[static_cast<std::size_t>(r)] = p;
+      result.proposer_match[static_cast<std::size_t>(p)] = r;
+      event.accepted = true;
+    } else if (inst.prefers({j, r}, {i, p}, {i, holder})) {
+      result.responder_match[static_cast<std::size_t>(r)] = p;
+      result.proposer_match[static_cast<std::size_t>(p)] = r;
+      result.proposer_match[static_cast<std::size_t>(holder)] = -1;
+      free_stack.push_back(holder);
+      event.accepted = true;
+      event.displaced = holder;
+    } else {
+      free_stack.push_back(p);  // rejected; will try the next choice
+    }
+    if (options.trace != nullptr) options.trace->push_back(event);
+  }
+  result.rounds = result.proposals;
+  finish(inst, result);
+  return result;
+}
+
+GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
+                             const GsOptions& options) {
+  check_genders(inst, i, j);
+  const Index n = inst.per_gender();
+  GsResult result;
+  result.proposer_gender = i;
+  result.responder_gender = j;
+  result.proposer_match.assign(static_cast<std::size_t>(n), Index{-1});
+  result.responder_match.assign(static_cast<std::size_t>(n), Index{-1});
+
+  std::vector<Index> next_choice(static_cast<std::size_t>(n), Index{0});
+  std::vector<Index> free_list(static_cast<std::size_t>(n));
+  for (Index p = 0; p < n; ++p) free_list[static_cast<std::size_t>(p)] = p;
+  std::vector<Index> still_free;
+
+  while (!free_list.empty()) {
+    ++result.rounds;
+    still_free.clear();
+    // Phase 1 of the round: every unengaged proposer proposes to the
+    // most-preferred responder it has not yet proposed to (§II.A verbatim).
+    for (const Index p : free_list) {
+      const auto list = inst.pref_list({i, p}, j);
+      const Index r = list[static_cast<std::size_t>(
+          next_choice[static_cast<std::size_t>(p)]++)];
+      ++result.proposals;
+      // Phase 2 folded in: the responder replies "maybe" only to the best
+      // suitor seen so far (including its current provisional partner).
+      const Index holder = result.responder_match[static_cast<std::size_t>(r)];
+      ProposalEvent event{p, r, false, -1};
+      if (holder < 0) {
+        result.responder_match[static_cast<std::size_t>(r)] = p;
+        result.proposer_match[static_cast<std::size_t>(p)] = r;
+        event.accepted = true;
+      } else if (inst.prefers({j, r}, {i, p}, {i, holder})) {
+        result.responder_match[static_cast<std::size_t>(r)] = p;
+        result.proposer_match[static_cast<std::size_t>(p)] = r;
+        result.proposer_match[static_cast<std::size_t>(holder)] = -1;
+        still_free.push_back(holder);
+        event.accepted = true;
+        event.displaced = holder;
+      } else {
+        still_free.push_back(p);
+      }
+      if (options.trace != nullptr) options.trace->push_back(event);
+    }
+    free_list.swap(still_free);
+  }
+  finish(inst, result);
+  return result;
+}
+
+bool is_stable_binding(const KPartiteInstance& inst, const GsResult& result) {
+  const Index n = inst.per_gender();
+  const Gender i = result.proposer_gender;
+  const Gender j = result.responder_gender;
+  for (Index p = 0; p < n; ++p) {
+    const Index matched = result.proposer_match[static_cast<std::size_t>(p)];
+    if (matched < 0) return false;
+    const auto list = inst.pref_list({i, p}, j);
+    const std::int32_t matched_rank = inst.rank_of({i, p}, {j, matched});
+    // Any responder p strictly prefers to its partner forms a blocking pair
+    // iff that responder also prefers p to its own partner.
+    for (std::int32_t rank = 0; rank < matched_rank; ++rank) {
+      const Index r = list[static_cast<std::size_t>(rank)];
+      const Index r_partner = result.responder_match[static_cast<std::size_t>(r)];
+      if (r_partner < 0 || inst.prefers({j, r}, {i, p}, {i, r_partner})) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace kstable::gs

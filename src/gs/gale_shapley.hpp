@@ -1,0 +1,63 @@
+// Gale-Shapley engines for one binary binding GS(i, j) between two genders of
+// a KPartiteInstance (paper §II.A).
+//
+// Three implementations with identical outcomes (GS is confluent: the
+// proposer-optimal matching does not depend on proposal order):
+//   * queue engine  — textbook free-list iteration, O(n²) worst case;
+//   * round engine  — the paper's description: per round, every unengaged
+//                     proposer proposes, every responder keeps the best
+//                     (McVitie-Wilson style rounds);
+//   * parallel engine (parallel_gs.hpp) — speculative concurrent proposals
+//                     with atomic responder slots.
+// All engines count accumulated proposals, the unit of Theorem 3's
+// (k-1)n² bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prefs/kpartite.hpp"
+
+namespace kstable::gs {
+
+/// One proposal event, for tracing small examples (E1).
+struct ProposalEvent {
+  Index proposer = -1;
+  Index responder = -1;
+  bool accepted = false;   ///< responder now holds proposer
+  Index displaced = -1;    ///< previous holder set free (-1 if none)
+};
+
+/// Result of one binary binding between proposer gender and responder gender.
+struct GsResult {
+  Gender proposer_gender = -1;
+  Gender responder_gender = -1;
+  /// proposer_match[p] = responder index matched to proposer p.
+  std::vector<Index> proposer_match;
+  /// responder_match[r] = proposer index matched to responder r.
+  std::vector<Index> responder_match;
+  /// Accumulated proposals (the iteration count of §II.A / Theorem 3).
+  std::int64_t proposals = 0;
+  /// Number of proposal rounds (1 per proposal for the queue engine).
+  std::int64_t rounds = 0;
+};
+
+struct GsOptions {
+  /// If non-null, every proposal event is appended (small instances only).
+  std::vector<ProposalEvent>* trace = nullptr;
+};
+
+/// Queue-based Gale-Shapley: proposers from gender `i` propose to gender `j`.
+GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
+                            const GsOptions& options = {});
+
+/// Round-based Gale-Shapley: all currently-free proposers propose each round.
+GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
+                             const GsOptions& options = {});
+
+/// True iff `result` is a stable matching of genders (i, j) under `inst`:
+/// perfect and with no blocking pair. (A cheaper special case of the
+/// analysis-module checkers, kept here so the engines are self-verifying.)
+bool is_stable_binding(const KPartiteInstance& inst, const GsResult& result);
+
+}  // namespace kstable::gs

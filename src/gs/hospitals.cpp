@@ -1,0 +1,201 @@
+#include "gs/hospitals.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace kstable::hr {
+
+HrInstance::HrInstance(std::vector<std::vector<Hospital>> resident_prefs,
+                       std::vector<std::vector<Resident>> hospital_prefs,
+                       std::vector<std::int32_t> capacity)
+    : resident_prefs_(std::move(resident_prefs)),
+      hospital_prefs_(std::move(hospital_prefs)),
+      capacity_(std::move(capacity)) {
+  const auto n = static_cast<Resident>(resident_prefs_.size());
+  const auto m = static_cast<Hospital>(hospital_prefs_.size());
+  KSTABLE_REQUIRE(n >= 1 && m >= 1, "need residents and hospitals");
+  KSTABLE_REQUIRE(capacity_.size() == static_cast<std::size_t>(m),
+                  "capacity vector size mismatch");
+  resident_rank_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(m),
+                        -1);
+  hospital_rank_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+                        -1);
+  for (Resident r = 0; r < n; ++r) {
+    const auto& prefs = resident_prefs_[static_cast<std::size_t>(r)];
+    KSTABLE_REQUIRE(prefs.size() == static_cast<std::size_t>(m),
+                    "resident " << r << " has incomplete preferences");
+    for (std::size_t pos = 0; pos < prefs.size(); ++pos) {
+      const Hospital h = prefs[pos];
+      KSTABLE_REQUIRE(h >= 0 && h < m, "resident " << r << " lists bad hospital");
+      auto& slot = resident_rank_[static_cast<std::size_t>(r) *
+                                      static_cast<std::size_t>(m) +
+                                  static_cast<std::size_t>(h)];
+      KSTABLE_REQUIRE(slot == -1, "resident " << r << " lists hospital twice");
+      slot = static_cast<std::int32_t>(pos);
+    }
+  }
+  for (Hospital h = 0; h < m; ++h) {
+    KSTABLE_REQUIRE(capacity_[static_cast<std::size_t>(h)] >= 0,
+                    "negative capacity at hospital " << h);
+    total_capacity_ += capacity_[static_cast<std::size_t>(h)];
+    const auto& prefs = hospital_prefs_[static_cast<std::size_t>(h)];
+    KSTABLE_REQUIRE(prefs.size() == static_cast<std::size_t>(n),
+                    "hospital " << h << " has incomplete preferences");
+    for (std::size_t pos = 0; pos < prefs.size(); ++pos) {
+      const Resident r = prefs[pos];
+      KSTABLE_REQUIRE(r >= 0 && r < n, "hospital " << h << " lists bad resident");
+      auto& slot = hospital_rank_[static_cast<std::size_t>(h) *
+                                      static_cast<std::size_t>(n) +
+                                  static_cast<std::size_t>(r)];
+      KSTABLE_REQUIRE(slot == -1, "hospital " << h << " lists resident twice");
+      slot = static_cast<std::int32_t>(pos);
+    }
+  }
+}
+
+std::int32_t HrInstance::capacity(Hospital h) const {
+  KSTABLE_REQUIRE(h >= 0 && h < hospitals(), "hospital " << h << " out of range");
+  return capacity_[static_cast<std::size_t>(h)];
+}
+
+const std::vector<Hospital>& HrInstance::resident_prefs(Resident r) const {
+  KSTABLE_REQUIRE(r >= 0 && r < residents(), "resident " << r << " out of range");
+  return resident_prefs_[static_cast<std::size_t>(r)];
+}
+
+std::int32_t HrInstance::resident_rank(Resident r, Hospital h) const {
+  KSTABLE_REQUIRE(r >= 0 && r < residents() && h >= 0 && h < hospitals(),
+                  "rank lookup out of range");
+  return resident_rank_[static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(hospitals()) +
+                        static_cast<std::size_t>(h)];
+}
+
+std::int32_t HrInstance::hospital_rank(Hospital h, Resident r) const {
+  KSTABLE_REQUIRE(r >= 0 && r < residents() && h >= 0 && h < hospitals(),
+                  "rank lookup out of range");
+  return hospital_rank_[static_cast<std::size_t>(h) *
+                            static_cast<std::size_t>(residents()) +
+                        static_cast<std::size_t>(r)];
+}
+
+HrResult solve_residents_propose(const HrInstance& inst) {
+  const Resident n = inst.residents();
+  const Hospital m = inst.hospitals();
+  HrResult result;
+  result.assignment.assign(static_cast<std::size_t>(n), Hospital{-1});
+  result.rosters.resize(static_cast<std::size_t>(m));
+
+  // Each hospital tracks its currently worst assigned resident lazily: with
+  // complete lists and small capacities a linear scan of the roster is fine.
+  std::vector<Resident> next_choice(static_cast<std::size_t>(n), 0);
+  std::vector<Resident> free_stack;
+  free_stack.reserve(static_cast<std::size_t>(n));
+  for (Resident r = n - 1; r >= 0; --r) free_stack.push_back(r);
+
+  while (!free_stack.empty()) {
+    const Resident r = free_stack.back();
+    free_stack.pop_back();
+    auto& cursor = next_choice[static_cast<std::size_t>(r)];
+    if (cursor >= m) continue;  // exhausted all hospitals: stays unassigned
+    const Hospital h = inst.resident_prefs(r)[static_cast<std::size_t>(cursor)];
+    ++cursor;
+    ++result.proposals;
+
+    auto& roster = result.rosters[static_cast<std::size_t>(h)];
+    if (static_cast<std::int32_t>(roster.size()) < inst.capacity(h)) {
+      roster.push_back(r);
+      result.assignment[static_cast<std::size_t>(r)] = h;
+      continue;
+    }
+    if (inst.capacity(h) == 0) {
+      free_stack.push_back(r);
+      continue;
+    }
+    // Full: compare against the worst assigned resident.
+    auto worst_it = std::max_element(
+        roster.begin(), roster.end(), [&](Resident a, Resident b) {
+          return inst.hospital_rank(h, a) < inst.hospital_rank(h, b);
+        });
+    if (inst.hospital_rank(h, r) < inst.hospital_rank(h, *worst_it)) {
+      const Resident displaced = *worst_it;
+      *worst_it = r;
+      result.assignment[static_cast<std::size_t>(r)] = h;
+      result.assignment[static_cast<std::size_t>(displaced)] = -1;
+      free_stack.push_back(displaced);
+    } else {
+      free_stack.push_back(r);
+    }
+  }
+  KSTABLE_ENSURE(is_stable(inst, result),
+                 "deferred acceptance produced an unstable assignment");
+  return result;
+}
+
+bool is_stable(const HrInstance& inst, const HrResult& result) {
+  const Resident n = inst.residents();
+  const Hospital m = inst.hospitals();
+  if (result.assignment.size() != static_cast<std::size_t>(n)) return false;
+  // Capacity + roster/assignment consistency.
+  for (Hospital h = 0; h < m; ++h) {
+    const auto& roster = result.rosters[static_cast<std::size_t>(h)];
+    if (static_cast<std::int32_t>(roster.size()) > inst.capacity(h)) return false;
+    for (const Resident r : roster) {
+      if (result.assignment[static_cast<std::size_t>(r)] != h) return false;
+    }
+  }
+  // Blocking pairs.
+  for (Resident r = 0; r < n; ++r) {
+    const Hospital assigned = result.assignment[static_cast<std::size_t>(r)];
+    const std::int32_t assigned_rank =
+        assigned < 0 ? std::numeric_limits<std::int32_t>::max()
+                     : inst.resident_rank(r, assigned);
+    for (Hospital h = 0; h < m; ++h) {
+      if (h == assigned || inst.resident_rank(r, h) >= assigned_rank) continue;
+      const auto& roster = result.rosters[static_cast<std::size_t>(h)];
+      if (static_cast<std::int32_t>(roster.size()) < inst.capacity(h)) {
+        return false;  // free slot at a preferred hospital
+      }
+      for (const Resident q : roster) {
+        if (inst.hospital_rank(h, r) < inst.hospital_rank(h, q)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+HrInstance random_instance(Resident n, Hospital m, std::int32_t max_capacity,
+                           Rng& rng, bool sufficient) {
+  KSTABLE_REQUIRE(n >= 1 && m >= 1 && max_capacity >= 1,
+                  "bad random HR instance parameters");
+  std::vector<std::vector<Hospital>> resident_prefs(static_cast<std::size_t>(n));
+  for (auto& prefs : resident_prefs) {
+    prefs = rng.permutation(m);
+  }
+  std::vector<std::vector<Resident>> hospital_prefs(static_cast<std::size_t>(m));
+  for (auto& prefs : hospital_prefs) {
+    prefs = rng.permutation(n);
+  }
+  std::vector<std::int32_t> capacity(static_cast<std::size_t>(m));
+  std::int64_t total = 0;
+  for (auto& cap : capacity) {
+    cap = static_cast<std::int32_t>(
+        1 + rng.below(static_cast<std::uint64_t>(max_capacity)));
+    total += cap;
+  }
+  if (sufficient) {
+    // Round-robin top-ups until every resident fits.
+    std::size_t h = 0;
+    while (total < n) {
+      ++capacity[h % capacity.size()];
+      ++total;
+      ++h;
+    }
+  }
+  return HrInstance(std::move(resident_prefs), std::move(hospital_prefs),
+                    std::move(capacity));
+}
+
+}  // namespace kstable::hr

@@ -1,0 +1,76 @@
+// Hospitals/Residents (college admission) — the many-to-one SMP extension the
+// paper cites in §V.A ("the hospitals/residents problem, also known as the
+// college admission problem, is such an extension and application where a
+// hospital can take multiple residents").
+//
+// Model: n residents with strict preferences over m hospitals; each hospital
+// h has capacity cap[h] and a strict preference over residents. A matching
+// assigns each resident to at most one hospital, each hospital at most cap[h]
+// residents. A pair (r, h) blocks when r prefers h to its assignment (or is
+// unassigned and finds h acceptable) and h either has a free slot or prefers
+// r to its worst assigned resident. The resident-proposing deferred
+// acceptance algorithm below yields the resident-optimal stable matching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kstable::hr {
+
+using Resident = std::int32_t;
+using Hospital = std::int32_t;
+
+/// A hospitals/residents instance with complete preference lists.
+class HrInstance {
+ public:
+  /// resident_prefs[r] = hospitals best-first; hospital_prefs[h] = residents
+  /// best-first; capacity[h] >= 0. All lists must be complete permutations.
+  HrInstance(std::vector<std::vector<Hospital>> resident_prefs,
+             std::vector<std::vector<Resident>> hospital_prefs,
+             std::vector<std::int32_t> capacity);
+
+  [[nodiscard]] Resident residents() const noexcept {
+    return static_cast<Resident>(resident_prefs_.size());
+  }
+  [[nodiscard]] Hospital hospitals() const noexcept {
+    return static_cast<Hospital>(hospital_prefs_.size());
+  }
+  [[nodiscard]] std::int32_t capacity(Hospital h) const;
+  [[nodiscard]] std::int64_t total_capacity() const noexcept { return total_capacity_; }
+
+  [[nodiscard]] const std::vector<Hospital>& resident_prefs(Resident r) const;
+  [[nodiscard]] std::int32_t resident_rank(Resident r, Hospital h) const;
+  [[nodiscard]] std::int32_t hospital_rank(Hospital h, Resident r) const;
+
+ private:
+  std::vector<std::vector<Hospital>> resident_prefs_;
+  std::vector<std::vector<Resident>> hospital_prefs_;
+  std::vector<std::int32_t> capacity_;
+  std::vector<std::int32_t> resident_rank_;  // residents x hospitals
+  std::vector<std::int32_t> hospital_rank_;  // hospitals x residents
+  std::int64_t total_capacity_ = 0;
+};
+
+struct HrResult {
+  /// assignment[r] = hospital of resident r, -1 if unassigned.
+  std::vector<Hospital> assignment;
+  /// roster[h] = residents assigned to hospital h.
+  std::vector<std::vector<Resident>> rosters;
+  std::int64_t proposals = 0;
+};
+
+/// Resident-proposing deferred acceptance: resident-optimal stable matching.
+HrResult solve_residents_propose(const HrInstance& inst);
+
+/// True iff `result` is stable for `inst` (capacity respected, no blocking
+/// pair in the HR sense).
+bool is_stable(const HrInstance& inst, const HrResult& result);
+
+/// Random instance: n residents, m hospitals, capacities summing >= n when
+/// `sufficient` (every resident assignable) or arbitrary otherwise.
+HrInstance random_instance(Resident n, Hospital m, std::int32_t max_capacity,
+                           Rng& rng, bool sufficient = true);
+
+}  // namespace kstable::hr

@@ -1,0 +1,107 @@
+#include "gs/parallel_gs.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kstable::gs {
+
+namespace {
+
+/// Packs (rank, proposer) so that numerically smaller = better offer.
+constexpr std::uint64_t pack(std::int32_t rank, Index proposer) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) |
+         static_cast<std::uint32_t>(proposer);
+}
+constexpr Index unpack_proposer(std::uint64_t slot) {
+  return static_cast<Index>(slot & 0xffffffffULL);
+}
+constexpr std::uint64_t kEmptySlot = ~0ULL;
+
+/// Lock-free fetch-min on a responder slot.
+void offer(std::atomic<std::uint64_t>& slot, std::uint64_t packed) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (packed < current &&
+         !slot.compare_exchange_weak(current, packed,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
+                               ThreadPool& pool, std::size_t chunk) {
+  KSTABLE_REQUIRE(i != j && i >= 0 && j >= 0 && i < inst.genders() &&
+                      j < inst.genders(),
+                  "GS(" << i << ',' << j << ") invalid, k=" << inst.genders());
+  KSTABLE_REQUIRE(chunk >= 1, "chunk must be >= 1");
+  const Index n = inst.per_gender();
+
+  std::vector<std::atomic<std::uint64_t>> slots(static_cast<std::size_t>(n));
+  for (auto& slot : slots) slot.store(kEmptySlot, std::memory_order_relaxed);
+
+  std::vector<Index> next_choice(static_cast<std::size_t>(n), Index{0});
+  std::vector<Index> free_list(static_cast<std::size_t>(n));
+  for (Index p = 0; p < n; ++p) free_list[static_cast<std::size_t>(p)] = p;
+
+  GsResult result;
+  result.proposer_gender = i;
+  result.responder_gender = j;
+  result.proposer_match.assign(static_cast<std::size_t>(n), Index{-1});
+  result.responder_match.assign(static_cast<std::size_t>(n), Index{-1});
+
+  while (!free_list.empty()) {
+    ++result.rounds;
+    result.proposals += static_cast<std::int64_t>(free_list.size());
+
+    const std::size_t tasks = (free_list.size() + chunk - 1) / chunk;
+    pool.for_each_index(tasks, [&](std::size_t t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(begin + chunk, free_list.size());
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const Index p = free_list[idx];
+        // Only this task touches p's proposal pointer (free_list is disjoint
+        // across chunks), so no synchronization is needed here.
+        const auto list = inst.pref_list({i, p}, j);
+        const Index r = list[static_cast<std::size_t>(
+            next_choice[static_cast<std::size_t>(p)]++)];
+        const std::int32_t rank = inst.rank_of({j, r}, {i, p});
+        offer(slots[static_cast<std::size_t>(r)], pack(rank, p));
+      }
+    });
+
+    // Barrier passed: derive the new engagement state from the slots. A
+    // proposer is engaged iff it currently owns some responder's slot.
+    std::fill(result.proposer_match.begin(), result.proposer_match.end(),
+              Index{-1});
+    for (Index r = 0; r < n; ++r) {
+      const std::uint64_t slot =
+          slots[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
+      if (slot == kEmptySlot) {
+        result.responder_match[static_cast<std::size_t>(r)] = -1;
+        continue;
+      }
+      const Index p = unpack_proposer(slot);
+      result.responder_match[static_cast<std::size_t>(r)] = p;
+      result.proposer_match[static_cast<std::size_t>(p)] = r;
+    }
+    free_list.clear();
+    for (Index p = 0; p < n; ++p) {
+      if (result.proposer_match[static_cast<std::size_t>(p)] < 0) {
+        KSTABLE_ASSERT(next_choice[static_cast<std::size_t>(p)] < n);
+        free_list.push_back(p);
+      }
+    }
+  }
+
+  for (Index r = 0; r < n; ++r) {
+    KSTABLE_ENSURE(result.responder_match[static_cast<std::size_t>(r)] >= 0,
+                   "responder " << r << " unmatched after parallel GS");
+  }
+  return result;
+}
+
+}  // namespace kstable::gs

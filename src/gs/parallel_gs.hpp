@@ -1,0 +1,24 @@
+// Speculative parallel Gale-Shapley.
+//
+// The paper notes (§IV.C) that pairwise matching itself is hard to
+// parallelize — no known parallel algorithm beats O(n²) worst case — but
+// proposal *rounds* are embarrassingly parallel: within a round every free
+// proposer proposes concurrently, and each responder resolves its suitors
+// with an atomic "best offer" slot (packed rank|proposer fetch-min). Because
+// GS is confluent — the proposer-optimal outcome is independent of proposal
+// order — this engine returns bit-identical matchings to the sequential
+// engines; tests assert that equivalence.
+#pragma once
+
+#include "gs/gale_shapley.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kstable::gs {
+
+/// Parallel GS(i, j) over `pool`. Proposals within a round run concurrently;
+/// rounds are separated by barriers. `chunk` proposers are handled per task
+/// (tune to amortize scheduling overhead).
+GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
+                               ThreadPool& pool, std::size_t chunk = 256);
+
+}  // namespace kstable::gs

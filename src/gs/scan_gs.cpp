@@ -1,0 +1,64 @@
+#include "gs/scan_gs.hpp"
+
+#include "util/check.hpp"
+
+namespace kstable::gs {
+
+namespace {
+
+/// True iff responder (j, r) prefers proposer a over proposer b, determined
+/// by scanning the responder's list front-to-back (no rank table).
+bool scan_prefers(const KPartiteInstance& inst, Gender i, Gender j, Index r,
+                  Index a, Index b) {
+  for (const Index candidate : inst.pref_list({j, r}, i)) {
+    if (candidate == a) return true;
+    if (candidate == b) return false;
+  }
+  KSTABLE_REQUIRE(false, "neither " << a << " nor " << b
+                                    << " on responder " << r << "'s list");
+  return false;
+}
+
+}  // namespace
+
+GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
+  KSTABLE_REQUIRE(i != j && i >= 0 && j >= 0 && i < inst.genders() &&
+                      j < inst.genders(),
+                  "GS(" << i << ',' << j << ") invalid, k=" << inst.genders());
+  const Index n = inst.per_gender();
+  GsResult result;
+  result.proposer_gender = i;
+  result.responder_gender = j;
+  result.proposer_match.assign(static_cast<std::size_t>(n), Index{-1});
+  result.responder_match.assign(static_cast<std::size_t>(n), Index{-1});
+
+  std::vector<Index> next_choice(static_cast<std::size_t>(n), Index{0});
+  std::vector<Index> free_stack(static_cast<std::size_t>(n));
+  for (Index p = 0; p < n; ++p) {
+    free_stack[static_cast<std::size_t>(p)] = n - 1 - p;
+  }
+  while (!free_stack.empty()) {
+    const Index p = free_stack.back();
+    free_stack.pop_back();
+    const auto list = inst.pref_list({i, p}, j);
+    const Index r = list[static_cast<std::size_t>(
+        next_choice[static_cast<std::size_t>(p)]++)];
+    ++result.proposals;
+    const Index holder = result.responder_match[static_cast<std::size_t>(r)];
+    if (holder < 0) {
+      result.responder_match[static_cast<std::size_t>(r)] = p;
+      result.proposer_match[static_cast<std::size_t>(p)] = r;
+    } else if (scan_prefers(inst, i, j, r, p, holder)) {
+      result.responder_match[static_cast<std::size_t>(r)] = p;
+      result.proposer_match[static_cast<std::size_t>(p)] = r;
+      result.proposer_match[static_cast<std::size_t>(holder)] = -1;
+      free_stack.push_back(holder);
+    } else {
+      free_stack.push_back(p);
+    }
+  }
+  result.rounds = result.proposals;
+  return result;
+}
+
+}  // namespace kstable::gs

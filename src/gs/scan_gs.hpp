@@ -1,0 +1,19 @@
+// Scan-based Gale-Shapley: the rank-table ablation baseline.
+//
+// Identical algorithm to the queue engine, but the responder's "do I prefer
+// the new suitor" comparison scans the responder's preference list instead of
+// consulting the precomputed O(1) rank table — O(n) per comparison, O(n³)
+// worst case overall. E9 benchmarks this against the rank-table engines to
+// quantify the flat-storage + rank-table design decision (DESIGN.md §Key
+// design decisions, item 1).
+#pragma once
+
+#include "gs/gale_shapley.hpp"
+
+namespace kstable::gs {
+
+/// Queue-based GS(i, j) using list scans for every preference comparison.
+/// Returns the same matching and proposal count as gale_shapley_queue.
+GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j);
+
+}  // namespace kstable::gs

@@ -1,0 +1,71 @@
+#include "parallel/pram.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kstable::pram {
+
+std::int32_t ceil_log2(std::int64_t x) {
+  KSTABLE_REQUIRE(x >= 1, "ceil_log2 needs x >= 1, got " << x);
+  std::int32_t bits = 0;
+  std::int64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+CostReport charge(const BindingStructure& structure,
+                  std::span<const std::int64_t> edge_iterations, Model model,
+                  Index n) {
+  const auto& edges = structure.edges();
+  KSTABLE_REQUIRE(edge_iterations.size() == edges.size(),
+                  "edge_iterations has " << edge_iterations.size()
+                                         << " entries for " << edges.size()
+                                         << " edges");
+  CostReport report;
+  for (const std::int64_t iters : edge_iterations) {
+    KSTABLE_REQUIRE(iters >= 0, "negative iteration count " << iters);
+    report.sequential_iterations += iters;
+  }
+  if (edges.empty()) return report;
+
+  switch (model) {
+    case Model::erew: {
+      const auto schedule = sched::color_forest(structure);
+      report.matching_rounds =
+          static_cast<std::int64_t>(schedule.round_count());
+      for (const auto& round : schedule.rounds) {
+        std::int64_t round_max = 0;
+        for (const std::size_t idx : round) {
+          round_max = std::max(round_max, edge_iterations[idx]);
+        }
+        report.charged_iterations += round_max;
+      }
+      break;
+    }
+    case Model::crew: {
+      report.matching_rounds = 1;
+      report.charged_iterations =
+          *std::max_element(edge_iterations.begin(), edge_iterations.end());
+      break;
+    }
+    case Model::erew_emulating_crew: {
+      // Doubling replication: after r rounds each gender's data exists in 2^r
+      // copies; Δ copies are needed so every incident binding reads its own.
+      const std::int32_t delta = structure.max_degree();
+      report.replication_rounds = ceil_log2(delta);
+      report.replication_cost =
+          report.replication_rounds * static_cast<std::int64_t>(n);
+      report.matching_rounds = 1;
+      report.charged_iterations =
+          *std::max_element(edge_iterations.begin(), edge_iterations.end());
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace kstable::pram

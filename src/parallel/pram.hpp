@@ -1,0 +1,63 @@
+// PRAM cost model for the parallel binding process (paper §IV.C).
+//
+// The paper analyzes the iterative binding GS algorithm on an EREW PRAM with
+// k-1 processors: each gender's preference data may be touched by at most one
+// binary matching per round, so a round schedule is a proper edge coloring of
+// the binding tree and the total charged iteration count is bounded by Δ·n²
+// (Corollary 1); a path tree needs only two rounds (Corollary 2). A CREW
+// PRAM allows concurrent reads, collapsing the schedule to one round; an EREW
+// machine can emulate that by first replicating each gender's data in
+// ceil(log2 Δ) doubling rounds.
+//
+// This module *charges* those costs exactly from measured per-edge iteration
+// counts, so the corollaries become measurable experiment outputs rather than
+// assumptions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/scheduling.hpp"
+
+namespace kstable::pram {
+
+enum class Model {
+  erew,  ///< exclusive read, exclusive write: rounds = edge coloring
+  crew,  ///< concurrent read: all bindings in a single round
+  erew_emulating_crew,  ///< EREW + ceil(log2 Δ) replication rounds, then 1 round
+};
+
+/// Cost report for one parallel binding execution.
+struct CostReport {
+  std::int64_t matching_rounds = 0;     ///< rounds spent running GS bindings
+  std::int64_t replication_rounds = 0;  ///< data-doubling rounds (CREW emulation)
+  std::int64_t charged_iterations = 0;  ///< sum over rounds of max in-round iterations
+  std::int64_t replication_cost = 0;    ///< replication_rounds * n (copy n entries/round)
+  std::int64_t sequential_iterations = 0;  ///< plain sum of all edge iterations
+
+  /// Total parallel cost under the model.
+  [[nodiscard]] std::int64_t total_cost() const {
+    return charged_iterations + replication_cost;
+  }
+  /// Speedup of the charged schedule over sequential execution.
+  [[nodiscard]] double model_speedup() const {
+    return total_cost() == 0
+               ? 1.0
+               : static_cast<double>(sequential_iterations) /
+                     static_cast<double>(total_cost());
+  }
+};
+
+/// Charges the PRAM cost of executing `structure`'s bindings, where
+/// `edge_iterations[e]` is the measured GS iteration count of edge e, under
+/// `model`. `n` is members-per-gender (unit of one replication round's copy
+/// cost). For Model::erew the schedule is the Δ-round edge coloring; for the
+/// CREW variants all edges share one matching round.
+CostReport charge(const BindingStructure& structure,
+                  std::span<const std::int64_t> edge_iterations, Model model,
+                  Index n);
+
+/// ceil(log2 x) for x >= 1.
+std::int32_t ceil_log2(std::int64_t x);
+
+}  // namespace kstable::pram

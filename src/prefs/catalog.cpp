@@ -1,0 +1,49 @@
+#include "prefs/catalog.hpp"
+
+#include "prefs/examples.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+
+namespace kstable::examples {
+
+std::vector<CatalogEntry> catalog() {
+  return {
+      {"example1-first", "§II.A Example 1, first preference set (2x2)"},
+      {"example1-second", "§II.A Example 1, second preference set (2x2)"},
+      {"fig3", "§IV.A Fig. 3 tripartite instance (3x2)"},
+      {"theorem4-cycle", "§IV.B cycle-witness preferences (3x2)"},
+      {"uniform-3x8", "uniform random, k=3, n=8, seed 1"},
+      {"popularity-4x16", "popularity-correlated (noise 0.5), k=4, n=16, seed 2"},
+      {"euclidean-3x16", "2-d euclidean, k=3, n=16, seed 3"},
+      {"tiered-4x12", "3-tier quality, k=4, n=12, seed 4"},
+  };
+}
+
+KPartiteInstance build(const std::string& name) {
+  if (name == "example1-first") return example1_first();
+  if (name == "example1-second") return example1_second();
+  if (name == "fig3") return fig3_instance();
+  if (name == "theorem4-cycle") return gen::theorem4_cycle_prefs();
+  if (name == "uniform-3x8") {
+    Rng rng(1);
+    return gen::uniform(3, 8, rng);
+  }
+  if (name == "popularity-4x16") {
+    Rng rng(2);
+    return gen::popularity(4, 16, rng, 0.5);
+  }
+  if (name == "euclidean-3x16") {
+    Rng rng(3);
+    return gen::euclidean(3, 16, 2, rng);
+  }
+  if (name == "tiered-4x12") {
+    Rng rng(4);
+    return gen::tiered(4, 12, 3, rng);
+  }
+  std::string known;
+  for (const auto& entry : catalog()) known += ' ' + entry.name;
+  KSTABLE_REQUIRE(false, "unknown instance '" << name << "'; known:" << known);
+  return KPartiteInstance(2, 1);  // unreachable
+}
+
+}  // namespace kstable::examples

@@ -1,0 +1,24 @@
+// Named-instance catalog: every built-in instance reachable by a string name
+// (CLI `kmatch example <name> <file>`, notebooks, test fixtures).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prefs/kpartite.hpp"
+
+namespace kstable::examples {
+
+struct CatalogEntry {
+  std::string name;
+  std::string description;
+};
+
+/// Names and one-line descriptions of every cataloged k-partite instance.
+std::vector<CatalogEntry> catalog();
+
+/// Builds a cataloged instance by name; throws ContractViolation for unknown
+/// names (the message lists the valid ones).
+KPartiteInstance build(const std::string& name);
+
+}  // namespace kstable::examples

@@ -1,0 +1,59 @@
+#include "prefs/examples.hpp"
+
+#include <vector>
+
+namespace kstable::examples {
+
+namespace {
+
+/// Sets a two-member preference list: top = index ranked first.
+void set2(KPartiteInstance& inst, MemberId m, Gender g, Index top) {
+  const std::vector<Index> order =
+      top == 0 ? std::vector<Index>{0, 1} : std::vector<Index>{1, 0};
+  inst.set_pref_list(m, g, order);
+}
+
+}  // namespace
+
+KPartiteInstance example1_first() {
+  KPartiteInstance inst(2, 2);
+  set2(inst, {kMen, 0}, kWomen, 0);    // m : w > w'
+  set2(inst, {kMen, 1}, kWomen, 0);    // m': w > w'
+  set2(inst, {kWomen, 0}, kMen, 1);    // w : m' > m
+  set2(inst, {kWomen, 1}, kMen, 1);    // w': m' > m
+  inst.validate();
+  return inst;
+}
+
+KPartiteInstance example1_second() {
+  KPartiteInstance inst(2, 2);
+  set2(inst, {kMen, 0}, kWomen, 0);    // m : w > w'
+  set2(inst, {kMen, 1}, kWomen, 1);    // m': w' > w
+  set2(inst, {kWomen, 0}, kMen, 1);    // w : m' > m
+  set2(inst, {kWomen, 1}, kMen, 0);    // w': m > m'
+  inst.validate();
+  return inst;
+}
+
+KPartiteInstance fig3_instance() {
+  KPartiteInstance inst(3, 2);
+  // M over W / W over M: mutual first choices (m,w) and (m',w').
+  set2(inst, {kMen, 0}, kWomen, 0);        // m : w > w'
+  set2(inst, {kMen, 1}, kWomen, 1);        // m': w' > w
+  set2(inst, {kWomen, 0}, kMen, 0);        // w : m > m'
+  set2(inst, {kWomen, 1}, kMen, 1);        // w': m' > m
+  // W over U / U over W: mutual first choices (w,u) and (w',u').
+  set2(inst, {kWomen, 0}, kUndecided, 0);  // w : u > u'
+  set2(inst, {kWomen, 1}, kUndecided, 1);  // w': u' > u
+  set2(inst, {kUndecided, 0}, kWomen, 0);  // u : w > w'
+  set2(inst, {kUndecided, 1}, kWomen, 1);  // u': w' > w
+  // M over U / U over M: the text's stated asymmetry.
+  set2(inst, {kMen, 0}, kUndecided, 1);    // m : u' > u
+  set2(inst, {kMen, 1}, kUndecided, 0);    // m': u > u'
+  set2(inst, {kUndecided, 0}, kMen, 0);    // u : m > m'
+  set2(inst, {kUndecided, 1}, kMen, 0);    // u': m > m'
+  inst.validate();
+  return inst;
+}
+
+}  // namespace kstable::examples

@@ -1,0 +1,32 @@
+// Exact instances from the paper's worked examples (KPartiteInstance form).
+//
+// The combined-ranking examples of §III.B (roommate-style lists over mixed
+// genders) live in roommates/examples.hpp, since they are inputs to the
+// stable-roommates solver rather than per-gender preference systems.
+#pragma once
+
+#include "prefs/kpartite.hpp"
+
+namespace kstable::examples {
+
+/// Gender labels used by every paper example: M = 0, W = 1, U = 2.
+inline constexpr Gender kMen = 0;
+inline constexpr Gender kWomen = 1;
+inline constexpr Gender kUndecided = 2;
+
+/// Example 1, first preference set (§II.A): both men rank w first; both women
+/// rank m' first. GS (men propose) yields (m', w), (m, w').
+KPartiteInstance example1_first();
+
+/// Example 1, second preference set (§II.A): m:w>w', m':w'>w, w:m'>m,
+/// w':m>m'. Two stable matchings exist; GS with men proposing yields the
+/// man-optimal (m, w), (m', w'); women proposing yields (m, w'), (m', w).
+KPartiteInstance example1_second();
+
+/// Fig. 3 instance (§IV.A): tripartite, two members per gender, consistent
+/// with every constraint the text states — GS(M,W) binds (m,w),(m',w');
+/// GS(W,U) binds (w,u),(w',u'); both u and u' rank m above m'; m ranks u'
+/// above u while m' ranks u above u'.
+KPartiteInstance fig3_instance();
+
+}  // namespace kstable::examples

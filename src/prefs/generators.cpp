@@ -1,0 +1,249 @@
+#include "prefs/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kstable::gen {
+
+KPartiteInstance uniform(Gender k, Index n, Rng& rng) {
+  KPartiteInstance inst(k, n);
+  for (Gender g = 0; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      for (Gender h = 0; h < k; ++h) {
+        if (h == g) continue;
+        const auto perm = rng.permutation(n);
+        inst.set_pref_list({g, i}, h, perm);
+      }
+    }
+  }
+  return inst;
+}
+
+KPartiteInstance master_list(Gender k, Index n, Rng& rng) {
+  KPartiteInstance inst(k, n);
+  for (Gender g = 0; g < k; ++g) {
+    for (Gender h = 0; h < k; ++h) {
+      if (h == g) continue;
+      const auto shared = rng.permutation(n);
+      for (Index i = 0; i < n; ++i) inst.set_pref_list({g, i}, h, shared);
+    }
+  }
+  return inst;
+}
+
+KPartiteInstance popularity(Gender k, Index n, Rng& rng, double noise) {
+  KSTABLE_REQUIRE(noise >= 0.0, "noise must be non-negative, got " << noise);
+  KPartiteInstance inst(k, n);
+  // One global attractiveness score per member.
+  std::vector<std::vector<double>> score(static_cast<std::size_t>(k));
+  for (auto& s : score) {
+    s.resize(static_cast<std::size_t>(n));
+    for (auto& v : s) v = rng.uniform01();
+  }
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::vector<double> key(static_cast<std::size_t>(n));
+  for (Gender g = 0; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      for (Gender h = 0; h < k; ++h) {
+        if (h == g) continue;
+        for (Index t = 0; t < n; ++t) {
+          key[static_cast<std::size_t>(t)] =
+              score[static_cast<std::size_t>(h)][static_cast<std::size_t>(t)] +
+              noise * rng.uniform01();
+        }
+        std::iota(order.begin(), order.end(), Index{0});
+        std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+          const double ka = key[static_cast<std::size_t>(a)];
+          const double kb = key[static_cast<std::size_t>(b)];
+          return ka != kb ? ka > kb : a < b;  // higher score = better rank
+        });
+        inst.set_pref_list({g, i}, h, order);
+      }
+    }
+  }
+  return inst;
+}
+
+KPartiteInstance euclidean(Gender k, Index n, std::int32_t dims, Rng& rng) {
+  KSTABLE_REQUIRE(dims >= 1, "need at least one dimension, got " << dims);
+  KPartiteInstance inst(k, n);
+  // points[g][i] is member (g, i)'s position in the unit cube.
+  std::vector<std::vector<std::vector<double>>> points(
+      static_cast<std::size_t>(k));
+  for (auto& gender_points : points) {
+    gender_points.resize(static_cast<std::size_t>(n));
+    for (auto& p : gender_points) {
+      p.resize(static_cast<std::size_t>(dims));
+      for (auto& coordinate : p) coordinate = rng.uniform01();
+    }
+  }
+  auto squared_distance = [dims](const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+    double sum = 0;
+    for (std::int32_t d = 0; d < dims; ++d) {
+      const double delta = a[static_cast<std::size_t>(d)] -
+                           b[static_cast<std::size_t>(d)];
+      sum += delta * delta;
+    }
+    return sum;
+  };
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  for (Gender g = 0; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      const auto& self = points[static_cast<std::size_t>(g)]
+                               [static_cast<std::size_t>(i)];
+      for (Gender h = 0; h < k; ++h) {
+        if (h == g) continue;
+        std::iota(order.begin(), order.end(), Index{0});
+        std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+          const double da = squared_distance(
+              self, points[static_cast<std::size_t>(h)]
+                          [static_cast<std::size_t>(a)]);
+          const double db = squared_distance(
+              self, points[static_cast<std::size_t>(h)]
+                          [static_cast<std::size_t>(b)]);
+          return da != db ? da < db : a < b;
+        });
+        inst.set_pref_list({g, i}, h, order);
+      }
+    }
+  }
+  return inst;
+}
+
+KPartiteInstance tiered(Gender k, Index n, std::int32_t tiers, Rng& rng) {
+  KSTABLE_REQUIRE(tiers >= 1 && tiers <= n,
+                  "tier count " << tiers << " invalid for n=" << n);
+  KPartiteInstance inst(k, n);
+  // tier_members[g][t]: the members of gender g in quality tier t (tiers are
+  // roughly balanced; tier assignment is a random permutation per gender).
+  std::vector<std::vector<std::vector<Index>>> tier_members(
+      static_cast<std::size_t>(k));
+  for (Gender g = 0; g < k; ++g) {
+    auto perm = rng.permutation(n);
+    tier_members[static_cast<std::size_t>(g)].resize(
+        static_cast<std::size_t>(tiers));
+    for (Index i = 0; i < n; ++i) {
+      const auto tier = static_cast<std::size_t>(
+          (static_cast<std::int64_t>(i) * tiers) / n);
+      tier_members[static_cast<std::size_t>(g)][tier].push_back(
+          perm[static_cast<std::size_t>(i)]);
+    }
+  }
+  std::vector<Index> order;
+  for (Gender g = 0; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      for (Gender h = 0; h < k; ++h) {
+        if (h == g) continue;
+        order.clear();
+        for (auto tier : tier_members[static_cast<std::size_t>(h)]) {
+          rng.shuffle(tier);  // personal order within the tier
+          order.insert(order.end(), tier.begin(), tier.end());
+        }
+        inst.set_pref_list({g, i}, h, order);
+      }
+    }
+  }
+  return inst;
+}
+
+KPartiteInstance theorem1_adversarial(Gender k, Index n, Rng& rng,
+                                      Gender pariah_gender) {
+  KSTABLE_REQUIRE(k > 2, "Theorem 1 construction needs k > 2, got k=" << k);
+  KSTABLE_REQUIRE(pariah_gender >= 0 && pariah_gender < k,
+                  "pariah gender " << pariah_gender << " out of range");
+  KPartiteInstance inst = uniform(k, n, rng);
+  const MemberId pariah{pariah_gender, 0};
+
+  // (1) Everyone ranks the pariah last: move index 0 of the pariah gender to
+  // the back of every list over that gender.
+  for (Gender g = 0; g < k; ++g) {
+    if (g == pariah_gender) continue;
+    for (Index i = 0; i < n; ++i) {
+      const auto cur = inst.pref_list({g, i}, pariah_gender);
+      std::vector<Index> order(cur.begin(), cur.end());
+      auto it = std::find(order.begin(), order.end(), pariah.index);
+      order.erase(it);
+      order.push_back(pariah.index);
+      inst.set_pref_list({g, i}, pariah_gender, order);
+    }
+  }
+
+  // (2) Gender-alternating cycle over all members of the k-1 non-pariah
+  // genders, member-major so consecutive entries always differ in gender
+  // (k-1 >= 2): (g_0,0), (g_1,0), ..., (g_{k-2},0), (g_0,1), ...
+  // Each member ranks its successor first, so each member is ranked first by
+  // exactly one member of a different gender — the paper's condition (2).
+  std::vector<Gender> others;
+  for (Gender g = 0; g < k; ++g) {
+    if (g != pariah_gender) others.push_back(g);
+  }
+  std::vector<MemberId> cycle;
+  cycle.reserve(static_cast<std::size_t>(k - 1) * static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    for (Gender g : others) cycle.push_back({g, i});
+  }
+  for (std::size_t pos = 0; pos < cycle.size(); ++pos) {
+    const MemberId from = cycle[pos];
+    const MemberId to = cycle[(pos + 1) % cycle.size()];
+    KSTABLE_ASSERT(from.gender != to.gender);
+    const auto cur = inst.pref_list(from, to.gender);
+    std::vector<Index> order(cur.begin(), cur.end());
+    auto it = std::find(order.begin(), order.end(), to.index);
+    order.erase(it);
+    order.insert(order.begin(), to.index);
+    inst.set_pref_list(from, to.gender, order);
+  }
+  return inst;
+}
+
+KPartiteInstance theorem4_cycle_prefs() {
+  // Paper §IV.B, genders M=0, W=1, U=2, two members each. The listed pair
+  // preferences (m: w, m': w, w: m, w': m', w: u, w': u, u: w, u': w',
+  // m: u, m': u, u: m', u': m') pin down every 2-member list.
+  KPartiteInstance inst(3, 2);
+  const Index first = 0, second = 1;
+  auto set2 = [&inst](MemberId m, Gender g, Index top) {
+    const std::vector<Index> order = top == 0 ? std::vector<Index>{0, 1}
+                                              : std::vector<Index>{1, 0};
+    inst.set_pref_list(m, g, order);
+  };
+  const Gender M = 0, W = 1, U = 2;
+  set2({M, 0}, W, first);   // m : w
+  set2({M, 1}, W, first);   // m': w
+  set2({W, 0}, M, first);   // w : m
+  set2({W, 1}, M, second);  // w': m'
+  set2({W, 0}, U, first);   // w : u
+  set2({W, 1}, U, first);   // w': u
+  set2({U, 0}, W, first);   // u : w
+  set2({U, 1}, W, second);  // u': w'
+  set2({M, 0}, U, first);   // m : u
+  set2({M, 1}, U, first);   // m': u
+  set2({U, 0}, M, second);  // u : m'
+  set2({U, 1}, M, second);  // u': m'
+  inst.validate();
+  return inst;
+}
+
+void swap_noise(KPartiteInstance& inst, Rng& rng, std::int64_t swaps) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  if (n < 2) return;
+  for (std::int64_t s = 0; s < swaps; ++s) {
+    const auto g = static_cast<Gender>(rng.below(static_cast<std::uint64_t>(k)));
+    const auto i = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+    auto h = static_cast<Gender>(rng.below(static_cast<std::uint64_t>(k - 1)));
+    if (h >= g) ++h;
+    const auto cur = inst.pref_list({g, i}, h);
+    std::vector<Index> order(cur.begin(), cur.end());
+    const auto pos =
+        static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    std::swap(order[pos], order[pos + 1]);
+    inst.set_pref_list({g, i}, h, order);
+  }
+}
+
+}  // namespace kstable::gen

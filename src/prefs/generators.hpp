@@ -1,0 +1,70 @@
+// Instance generators for balanced complete k-partite preference systems.
+//
+// Every generator is deterministic given its Rng, so all experiments replay
+// from a seed. The adversarial generators encode the constructive proofs of
+// the paper (Theorem 1 non-existence construction; §IV.B cycle preferences).
+#pragma once
+
+#include <cstdint>
+
+#include "prefs/kpartite.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::gen {
+
+/// Uniform instance: every preference list is an independent uniformly random
+/// permutation.
+KPartiteInstance uniform(Gender k, Index n, Rng& rng);
+
+/// Master-list instance: within each (observer gender, target gender) pair,
+/// *all* observers share one global random order. Degenerate but useful: GS
+/// then terminates after exactly n(n+1)/2 proposals and every matching
+/// algorithm has a unique stable outcome.
+KPartiteInstance master_list(Gender k, Index n, Rng& rng);
+
+/// Popularity-biased instance. Each member gets an attractiveness score;
+/// each observer ranks a target gender by score plus personal noise of
+/// magnitude `noise` (0 = identical master lists, large = uniform-like).
+/// Models the correlated preferences common in real matching markets.
+KPartiteInstance popularity(Gender k, Index n, Rng& rng, double noise);
+
+/// Euclidean instance: every member is a random point in the unit
+/// d-dimensional cube and ranks a target gender by increasing distance.
+/// Preferences are strongly correlated AND mutually consistent (if a is very
+/// close to b, b is very close to a) — a geometry common in real matching
+/// markets (location-based assignment). Ties are broken by index.
+KPartiteInstance euclidean(Gender k, Index n, std::int32_t dims, Rng& rng);
+
+/// Tiered instance: members are split into `tiers` quality tiers (tier 0 is
+/// best). Every observer ranks whole tiers in order and shuffles within each
+/// tier independently — a middle ground between master_list (one tier per
+/// member) and uniform (a single tier).
+KPartiteInstance tiered(Gender k, Index n, std::int32_t tiers, Rng& rng);
+
+/// Per-gender scaffold of the Theorem 1 adversarial construction (§III.A):
+///  (1) member (pariah_gender, 0) is ranked last (within its gender's lists)
+///      by every other member;
+///  (2) the members of the remaining k-1 genders sit on a gender-alternating
+///      cycle and rank their successor first within that gender's list.
+/// Remaining positions are filled randomly from `rng`. Requires k > 2.
+///
+/// NOTE: binary-matching stability in §III is defined over COMBINED rankings
+/// (one total order per member across all other genders); this per-gender
+/// instance only guarantees the construction's properties within each
+/// per-gender list, so a linearization may or may not preserve the
+/// no-stable-matching property. The guaranteed-unstable combined form is
+/// core::theorem1_adversarial_roommates(). This scaffold exists for
+/// experiments on how linearizations interact with adversarial structure (E2).
+KPartiteInstance theorem1_adversarial(Gender k, Index n, Rng& rng,
+                                      Gender pariah_gender = 0);
+
+/// §IV.B cycle preferences (k = 3, n = 2): the paper's witness that a binding
+/// *cycle* (three binary bindings M-W, W-U, U-M) cannot all be stable
+/// simultaneously — used by the Theorem 4 tightness experiment (E6).
+KPartiteInstance theorem4_cycle_prefs();
+
+/// Applies `swaps` random adjacent transpositions across random preference
+/// lists of `inst` — perturbation operator for property tests.
+void swap_noise(KPartiteInstance& inst, Rng& rng, std::int64_t swaps);
+
+}  // namespace kstable::gen

@@ -1,0 +1,18 @@
+#include "prefs/ids.hpp"
+
+#include <ostream>
+
+namespace kstable {
+
+std::ostream& operator<<(std::ostream& os, MemberId m) {
+  // Genders print as letters (a, b, c, ...) so small examples read like the
+  // paper's (m, w, u) notation; indices print as subscript numbers.
+  if (m.gender >= 0 && m.gender < 26) {
+    os << static_cast<char>('a' + m.gender) << m.index;
+  } else {
+    os << '(' << m.gender << ',' << m.index << ')';
+  }
+  return os;
+}
+
+}  // namespace kstable

@@ -1,0 +1,41 @@
+// Identifier types for members of a k-partite preference system.
+//
+// A balanced k-partite instance has `k` genders (disjoint sets) with `n`
+// members each. A member is addressed either structurally, as (gender, index),
+// or by a flat id in [0, k*n) — gender-major — used by union-find and other
+// dense per-member arrays.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace kstable {
+
+/// Gender (disjoint-set) identifier in [0, k).
+using Gender = std::int32_t;
+
+/// Member index within its gender, in [0, n).
+using Index = std::int32_t;
+
+/// Structural member address: (gender, index).
+struct MemberId {
+  Gender gender = -1;
+  Index index = -1;
+
+  friend constexpr auto operator<=>(const MemberId&, const MemberId&) = default;
+};
+
+/// Flat id of `m` in a balanced instance with `n` members per gender.
+constexpr std::int32_t flat_id(MemberId m, Index n) noexcept {
+  return m.gender * n + m.index;
+}
+
+/// Inverse of flat_id().
+constexpr MemberId member_of(std::int32_t flat, Index n) noexcept {
+  return MemberId{flat / n, flat % n};
+}
+
+std::ostream& operator<<(std::ostream& os, MemberId m);
+
+}  // namespace kstable

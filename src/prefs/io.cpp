@@ -1,0 +1,115 @@
+#include "prefs/io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kstable::io {
+
+namespace {
+
+constexpr const char* kMagic = "kstable-kpartite";
+constexpr const char* kVersion = "v1";
+
+/// Strips comments and returns the next non-blank line, or nullopt at EOF.
+std::optional<std::string> next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r") != std::string::npos) return line;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void save(const KPartiteInstance& inst, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << inst.genders() << ' ' << inst.per_gender() << '\n';
+  for (Gender g = 0; g < inst.genders(); ++g) {
+    for (Index i = 0; i < inst.per_gender(); ++i) {
+      for (Gender h = 0; h < inst.genders(); ++h) {
+        if (h == g) continue;
+        os << "pref " << g << ' ' << i << ' ' << h << " :";
+        for (Index idx : inst.pref_list({g, i}, h)) os << ' ' << idx;
+        os << '\n';
+      }
+    }
+  }
+}
+
+KPartiteInstance load(std::istream& is) {
+  auto header = next_line(is);
+  KSTABLE_REQUIRE(header.has_value(), "empty instance stream");
+  {
+    std::istringstream hs(*header);
+    std::string magic, version;
+    hs >> magic >> version;
+    KSTABLE_REQUIRE(magic == kMagic && version == kVersion,
+                    "bad header '" << *header << "'");
+  }
+  auto dims = next_line(is);
+  KSTABLE_REQUIRE(dims.has_value(), "missing dimensions line");
+  Gender k = 0;
+  Index n = 0;
+  {
+    std::istringstream ds(*dims);
+    ds >> k >> n;
+    KSTABLE_REQUIRE(!ds.fail(), "bad dimensions line '" << *dims << "'");
+  }
+  KPartiteInstance inst(k, n);
+  const std::size_t expected_lists = static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(n) *
+                                     static_cast<std::size_t>(k - 1);
+  std::size_t seen = 0;
+  while (auto line = next_line(is)) {
+    std::istringstream ls(*line);
+    std::string tag, colon;
+    Gender g = 0, h = 0;
+    Index i = 0;
+    ls >> tag >> g >> i >> h >> colon;
+    KSTABLE_REQUIRE(!ls.fail() && tag == "pref" && colon == ":",
+                    "bad pref line '" << *line << "'");
+    std::vector<Index> order;
+    order.reserve(static_cast<std::size_t>(n));
+    Index idx = 0;
+    while (ls >> idx) order.push_back(idx);
+    inst.set_pref_list({g, i}, h, order);
+    ++seen;
+  }
+  KSTABLE_REQUIRE(seen == expected_lists, "instance has " << seen
+                      << " pref lines, expected " << expected_lists);
+  inst.validate();
+  return inst;
+}
+
+void save_file(const KPartiteInstance& inst, const std::string& path) {
+  std::ofstream os(path);
+  KSTABLE_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  save(inst, os);
+  KSTABLE_REQUIRE(os.good(), "write to '" << path << "' failed");
+}
+
+KPartiteInstance load_file(const std::string& path) {
+  std::ifstream is(path);
+  KSTABLE_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+  return load(is);
+}
+
+std::string to_string(const KPartiteInstance& inst) {
+  std::ostringstream os;
+  save(inst, os);
+  return os.str();
+}
+
+KPartiteInstance from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+}  // namespace kstable::io

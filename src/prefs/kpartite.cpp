@@ -1,0 +1,108 @@
+#include "prefs/kpartite.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kstable {
+
+KPartiteInstance::KPartiteInstance(Gender k, Index n) : k_(k), n_(n) {
+  KSTABLE_REQUIRE(k >= 2, "need at least two genders, got k=" << k);
+  KSTABLE_REQUIRE(n >= 1, "need at least one member per gender, got n=" << n);
+  const auto cells = static_cast<std::size_t>(k) * static_cast<std::size_t>(k) *
+                     static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  pref_.assign(cells, Index{-1});
+  rank_.assign(cells, std::int32_t{-1});
+}
+
+void KPartiteInstance::check_member(MemberId m) const {
+  KSTABLE_REQUIRE(m.gender >= 0 && m.gender < k_ && m.index >= 0 && m.index < n_,
+                  "member " << m << " out of range (k=" << k_ << ", n=" << n_ << ")");
+}
+
+std::span<const Index> KPartiteInstance::pref_list(MemberId m, Gender g) const {
+  check_member(m);
+  KSTABLE_REQUIRE(g >= 0 && g < k_ && g != m.gender,
+                  "gender " << g << " invalid as a preference target for " << m);
+  return {pref_.data() + list_base(m, g), static_cast<std::size_t>(n_)};
+}
+
+void KPartiteInstance::set_pref_list(MemberId m, Gender g,
+                                     std::span<const Index> order) {
+  check_member(m);
+  KSTABLE_REQUIRE(g >= 0 && g < k_ && g != m.gender,
+                  "gender " << g << " invalid as a preference target for " << m);
+  KSTABLE_REQUIRE(order.size() == static_cast<std::size_t>(n_),
+                  "list for " << m << " over gender " << g << " has "
+                              << order.size() << " entries, expected " << n_);
+  // Permutation check (fail-fast, I.6): each index in [0, n) exactly once.
+  std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+  for (Index idx : order) {
+    KSTABLE_REQUIRE(idx >= 0 && idx < n_, "preference entry " << idx
+                                              << " out of range for " << m);
+    KSTABLE_REQUIRE(!seen[static_cast<std::size_t>(idx)],
+                    "duplicate preference entry " << idx << " for " << m);
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+  const std::size_t base = list_base(m, g);
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    pref_[base + r] = order[r];
+    rank_[base + static_cast<std::size_t>(order[r])] =
+        static_cast<std::int32_t>(r);
+  }
+}
+
+std::int32_t KPartiteInstance::rank_of(MemberId m, MemberId other) const {
+  check_member(m);
+  check_member(other);
+  KSTABLE_REQUIRE(other.gender != m.gender,
+                  "rank_of: " << other << " has the same gender as " << m);
+  const std::int32_t r =
+      rank_[list_base(m, other.gender) + static_cast<std::size_t>(other.index)];
+  KSTABLE_REQUIRE(r >= 0, "preference list of " << m << " over gender "
+                                                << other.gender << " is unset");
+  return r;
+}
+
+bool KPartiteInstance::prefers(MemberId m, MemberId a, MemberId b) const {
+  KSTABLE_REQUIRE(a.gender == b.gender,
+                  "prefers: " << a << " and " << b << " differ in gender");
+  return rank_of(m, a) < rank_of(m, b);
+}
+
+void KPartiteInstance::validate() const {
+  for (Gender g = 0; g < k_; ++g) {
+    for (Index i = 0; i < n_; ++i) {
+      const MemberId m{g, i};
+      for (Gender h = 0; h < k_; ++h) {
+        if (h == g) continue;
+        const std::size_t base = list_base(m, h);
+        std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+        for (Index r = 0; r < n_; ++r) {
+          const Index idx = pref_[base + static_cast<std::size_t>(r)];
+          KSTABLE_REQUIRE(idx >= 0 && idx < n_,
+                          "unset/out-of-range preference for " << m
+                              << " over gender " << h << " at rank " << r);
+          KSTABLE_REQUIRE(!seen[static_cast<std::size_t>(idx)],
+                          "duplicate entry " << idx << " in list of " << m
+                                             << " over gender " << h);
+          seen[static_cast<std::size_t>(idx)] = true;
+          KSTABLE_REQUIRE(
+              rank_[base + static_cast<std::size_t>(idx)] == r,
+              "rank table inconsistent for " << m << " over gender " << h);
+        }
+      }
+    }
+  }
+}
+
+bool KPartiteInstance::is_complete() const noexcept {
+  try {
+    validate();
+    return true;
+  } catch (const ContractViolation&) {
+    return false;
+  }
+}
+
+}  // namespace kstable

@@ -1,0 +1,76 @@
+// KPartiteInstance: the preference system of a complete, balanced k-partite
+// graph (paper §II.B).
+//
+// Each of the k genders holds n members. Every member keeps k-1 *separate*
+// strict preference orders, one per other gender — exactly the paper's model
+// ("separate orders are maintained for different genders, one for each
+// gender"), as opposed to the combination/cyclic preferences of prior
+// multi-dimensional SMP work.
+//
+// Storage is flat and gender-major with a precomputed rank table so that
+// "does m prefer a over b" is two loads and a compare (O(1)); this is the
+// representation every engine (GS, roommates adapter, binding, stability
+// checkers) runs on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "prefs/ids.hpp"
+
+namespace kstable {
+
+/// A complete balanced k-partite preference instance.
+class KPartiteInstance {
+ public:
+  /// Creates an instance with k genders of n members and *unset* preference
+  /// lists (all entries -1). Call set_pref_list() for every (member, gender)
+  /// pair and then validate(), or use a prefs::gen generator.
+  KPartiteInstance(Gender k, Index n);
+
+  [[nodiscard]] Gender genders() const noexcept { return k_; }
+  [[nodiscard]] Index per_gender() const noexcept { return n_; }
+  [[nodiscard]] std::int32_t total_members() const noexcept { return k_ * n_; }
+
+  /// Preference order of member `m` over gender `g` (best first); entries are
+  /// indices into gender `g`. Requires g != m.gender.
+  [[nodiscard]] std::span<const Index> pref_list(MemberId m, Gender g) const;
+
+  /// Overwrites the preference order of `m` over gender `g`. `order` must be
+  /// a permutation of [0, n) — enforced here (fail-fast on malformed input).
+  void set_pref_list(MemberId m, Gender g, std::span<const Index> order);
+
+  /// Rank of `other` in m's list for other.gender (0 = most preferred).
+  [[nodiscard]] std::int32_t rank_of(MemberId m, MemberId other) const;
+
+  /// True iff `m` strictly prefers `a` over `b`; a and b must belong to the
+  /// same gender, different from m's.
+  [[nodiscard]] bool prefers(MemberId m, MemberId a, MemberId b) const;
+
+  /// Full structural validation: every cross-gender list set and a
+  /// permutation. Throws ContractViolation otherwise.
+  void validate() const;
+
+  /// True iff validate() would pass (no throw).
+  [[nodiscard]] bool is_complete() const noexcept;
+
+  friend bool operator==(const KPartiteInstance&, const KPartiteInstance&) = default;
+
+ private:
+  [[nodiscard]] std::size_t list_base(MemberId m, Gender g) const noexcept {
+    return (static_cast<std::size_t>(flat_id(m, n_)) * static_cast<std::size_t>(k_) +
+            static_cast<std::size_t>(g)) *
+           static_cast<std::size_t>(n_);
+  }
+  void check_member(MemberId m) const;
+
+  Gender k_;
+  Index n_;
+  // pref_[list_base(m,g) + r]  = index of the r-th choice of m in gender g.
+  // rank_[list_base(m,g) + i]  = rank of member (g, i) in m's list.
+  std::vector<Index> pref_;
+  std::vector<std::int32_t> rank_;
+};
+
+}  // namespace kstable

@@ -1,0 +1,72 @@
+#include "prefs/matching.hpp"
+
+#include "util/check.hpp"
+
+namespace kstable {
+
+BinaryMatchingKP::BinaryMatchingKP(Gender k, Index n,
+                                   std::vector<std::int32_t> partner)
+    : k_(k), n_(n), partner_(std::move(partner)) {
+  const auto total = static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+  KSTABLE_REQUIRE(partner_.size() == total, "partner array has "
+                      << partner_.size() << " entries, expected " << total);
+  for (std::size_t f = 0; f < total; ++f) {
+    const std::int32_t p = partner_[f];
+    KSTABLE_REQUIRE(p >= 0 && p < static_cast<std::int32_t>(total),
+                    "partner of member " << f << " out of range: " << p);
+    KSTABLE_REQUIRE(p != static_cast<std::int32_t>(f),
+                    "member " << f << " matched to itself");
+    KSTABLE_REQUIRE(partner_[static_cast<std::size_t>(p)] ==
+                        static_cast<std::int32_t>(f),
+                    "matching not an involution at member " << f);
+    const MemberId a = member_of(static_cast<std::int32_t>(f), n_);
+    const MemberId b = member_of(p, n_);
+    KSTABLE_REQUIRE(a.gender != b.gender,
+                    "members " << a << " and " << b << " share a gender");
+  }
+}
+
+MemberId BinaryMatchingKP::partner(MemberId m) const {
+  const std::int32_t f = flat_id(m, n_);
+  KSTABLE_REQUIRE(f >= 0 && f < static_cast<std::int32_t>(partner_.size()),
+                  "member " << m << " out of range");
+  return member_of(partner_[static_cast<std::size_t>(f)], n_);
+}
+
+KaryMatching::KaryMatching(Gender k, Index n, std::vector<Index> families)
+    : k_(k), n_(n), families_(std::move(families)) {
+  const auto total = static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+  KSTABLE_REQUIRE(families_.size() == total, "family table has "
+                      << families_.size() << " entries, expected " << total);
+  family_of_.assign(total, Index{-1});
+  for (Index t = 0; t < n_; ++t) {
+    for (Gender g = 0; g < k_; ++g) {
+      const Index idx =
+          families_[static_cast<std::size_t>(t) * static_cast<std::size_t>(k_) +
+                    static_cast<std::size_t>(g)];
+      KSTABLE_REQUIRE(idx >= 0 && idx < n_, "family " << t << " gender " << g
+                          << " member index " << idx << " out of range");
+      const std::int32_t flat = flat_id({g, idx}, n_);
+      KSTABLE_REQUIRE(family_of_[static_cast<std::size_t>(flat)] == -1,
+                      "member " << (MemberId{g, idx}) << " in two families");
+      family_of_[static_cast<std::size_t>(flat)] = t;
+    }
+  }
+}
+
+MemberId KaryMatching::member_at(Index t, Gender g) const {
+  KSTABLE_REQUIRE(t >= 0 && t < n_ && g >= 0 && g < k_,
+                  "member_at(" << t << ',' << g << ") out of range");
+  return {g, families_[static_cast<std::size_t>(t) * static_cast<std::size_t>(k_) +
+                       static_cast<std::size_t>(g)]};
+}
+
+Index KaryMatching::family_of(MemberId m) const {
+  const std::int32_t flat = flat_id(m, n_);
+  KSTABLE_REQUIRE(flat >= 0 &&
+                      flat < static_cast<std::int32_t>(family_of_.size()),
+                  "member " << m << " out of range");
+  return family_of_[static_cast<std::size_t>(flat)];
+}
+
+}  // namespace kstable

@@ -1,0 +1,76 @@
+// Matching value types over a balanced k-partite instance.
+//
+// BinaryMatchingKP — a perfect *binary* matching: every member paired with
+// exactly one member of a different gender (paper §III).
+// KaryMatching — a perfect *k-ary* matching: n families (k-tuples), one
+// member per gender per family, every member in exactly one family (§IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prefs/ids.hpp"
+
+namespace kstable {
+
+/// Perfect binary matching on a k-partite member set.
+class BinaryMatchingKP {
+ public:
+  /// `partner[flat_id(m, n)]` = flat id of m's partner. Must be a
+  /// fixed-point-free involution pairing members of different genders;
+  /// validated on construction.
+  BinaryMatchingKP(Gender k, Index n, std::vector<std::int32_t> partner);
+
+  [[nodiscard]] Gender genders() const noexcept { return k_; }
+  [[nodiscard]] Index per_gender() const noexcept { return n_; }
+
+  /// Partner of member `m`.
+  [[nodiscard]] MemberId partner(MemberId m) const;
+
+  [[nodiscard]] const std::vector<std::int32_t>& raw() const noexcept {
+    return partner_;
+  }
+
+ private:
+  Gender k_;
+  Index n_;
+  std::vector<std::int32_t> partner_;
+};
+
+/// Perfect k-ary matching: n families of k members, one per gender.
+class KaryMatching {
+ public:
+  /// `families[t * k + g]` = index (within gender g) of family t's gender-g
+  /// member. Each gender's column must be a permutation of [0, n); validated
+  /// on construction.
+  KaryMatching(Gender k, Index n, std::vector<Index> families);
+
+  [[nodiscard]] Gender genders() const noexcept { return k_; }
+  [[nodiscard]] Index per_gender() const noexcept { return n_; }
+  [[nodiscard]] Index family_count() const noexcept { return n_; }
+
+  /// Gender-g member of family `t`.
+  [[nodiscard]] MemberId member_at(Index t, Gender g) const;
+
+  /// Family index containing member `m`.
+  [[nodiscard]] Index family_of(MemberId m) const;
+
+  /// Gender-g member of m's family (the "corresponding member").
+  [[nodiscard]] MemberId family_member(MemberId m, Gender g) const {
+    return member_at(family_of(m), g);
+  }
+
+  [[nodiscard]] const std::vector<Index>& raw() const noexcept {
+    return families_;
+  }
+
+  friend bool operator==(const KaryMatching&, const KaryMatching&) = default;
+
+ private:
+  Gender k_;
+  Index n_;
+  std::vector<Index> families_;   // n * k, family-major
+  std::vector<Index> family_of_;  // k * n, by flat member id
+};
+
+}  // namespace kstable

@@ -1,0 +1,147 @@
+#include "prefs/matching_io.hpp"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kstable::io {
+
+namespace {
+
+std::optional<std::string> next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r") != std::string::npos) return line;
+  }
+  return std::nullopt;
+}
+
+void read_header(std::istream& is, const char* magic, Gender& k, Index& n) {
+  auto header = next_line(is);
+  KSTABLE_REQUIRE(header.has_value(), "empty matching stream");
+  {
+    std::istringstream hs(*header);
+    std::string found_magic, version;
+    hs >> found_magic >> version;
+    KSTABLE_REQUIRE(found_magic == magic && version == "v1",
+                    "bad header '" << *header << "'");
+  }
+  auto dims = next_line(is);
+  KSTABLE_REQUIRE(dims.has_value(), "missing dimensions line");
+  std::istringstream ds(*dims);
+  ds >> k >> n;
+  KSTABLE_REQUIRE(!ds.fail() && k >= 2 && n >= 1,
+                  "bad dimensions line '" << *dims << "'");
+}
+
+}  // namespace
+
+void save(const KaryMatching& matching, std::ostream& os) {
+  os << "kstable-kary v1\n"
+     << matching.genders() << ' ' << matching.per_gender() << '\n';
+  for (Index t = 0; t < matching.family_count(); ++t) {
+    os << "family " << t << " :";
+    for (Gender g = 0; g < matching.genders(); ++g) {
+      os << ' ' << matching.member_at(t, g).index;
+    }
+    os << '\n';
+  }
+}
+
+KaryMatching load_kary(std::istream& is) {
+  Gender k = 0;
+  Index n = 0;
+  read_header(is, "kstable-kary", k, n);
+  std::vector<Index> families(
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(n), Index{-1});
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  while (auto line = next_line(is)) {
+    std::istringstream ls(*line);
+    std::string tag, colon;
+    Index t = 0;
+    ls >> tag >> t >> colon;
+    KSTABLE_REQUIRE(!ls.fail() && tag == "family" && colon == ":",
+                    "bad family line '" << *line << "'");
+    KSTABLE_REQUIRE(t >= 0 && t < n, "family index " << t << " out of range");
+    KSTABLE_REQUIRE(!seen[static_cast<std::size_t>(t)],
+                    "duplicate family " << t);
+    seen[static_cast<std::size_t>(t)] = true;
+    for (Gender g = 0; g < k; ++g) {
+      Index idx = -1;
+      ls >> idx;
+      KSTABLE_REQUIRE(!ls.fail(), "family " << t << " has too few members");
+      families[static_cast<std::size_t>(t) * static_cast<std::size_t>(k) +
+               static_cast<std::size_t>(g)] = idx;
+    }
+  }
+  for (Index t = 0; t < n; ++t) {
+    KSTABLE_REQUIRE(seen[static_cast<std::size_t>(t)], "missing family " << t);
+  }
+  return KaryMatching(k, n, std::move(families));
+}
+
+std::string to_string(const KaryMatching& matching) {
+  std::ostringstream os;
+  save(matching, os);
+  return os.str();
+}
+
+KaryMatching kary_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_kary(is);
+}
+
+void save(const BinaryMatchingKP& matching, std::ostream& os) {
+  os << "kstable-binary v1\n"
+     << matching.genders() << ' ' << matching.per_gender() << '\n';
+  const auto& raw = matching.raw();
+  for (std::size_t f = 0; f < raw.size(); ++f) {
+    if (raw[f] > static_cast<std::int32_t>(f)) {
+      os << "pair " << f << ' ' << raw[f] << '\n';
+    }
+  }
+}
+
+BinaryMatchingKP load_binary(std::istream& is) {
+  Gender k = 0;
+  Index n = 0;
+  read_header(is, "kstable-binary", k, n);
+  const auto total = static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+  std::vector<std::int32_t> partner(total, -1);
+  while (auto line = next_line(is)) {
+    std::istringstream ls(*line);
+    std::string tag;
+    std::int32_t a = -1, b = -1;
+    ls >> tag >> a >> b;
+    KSTABLE_REQUIRE(!ls.fail() && tag == "pair",
+                    "bad pair line '" << *line << "'");
+    KSTABLE_REQUIRE(a >= 0 && b >= 0 &&
+                        a < static_cast<std::int32_t>(total) &&
+                        b < static_cast<std::int32_t>(total),
+                    "pair (" << a << ',' << b << ") out of range");
+    KSTABLE_REQUIRE(partner[static_cast<std::size_t>(a)] == -1 &&
+                        partner[static_cast<std::size_t>(b)] == -1,
+                    "member in two pairs on line '" << *line << "'");
+    partner[static_cast<std::size_t>(a)] = b;
+    partner[static_cast<std::size_t>(b)] = a;
+  }
+  return BinaryMatchingKP(k, n, std::move(partner));
+}
+
+std::string to_string(const BinaryMatchingKP& matching) {
+  std::ostringstream os;
+  save(matching, os);
+  return os.str();
+}
+
+BinaryMatchingKP binary_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_binary(is);
+}
+
+}  // namespace kstable::io

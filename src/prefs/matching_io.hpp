@@ -1,0 +1,31 @@
+// Text serialization for matching results, so pipelines can persist and
+// exchange solver outputs.
+//
+// KaryMatching format:
+//   kstable-kary v1
+//   <k> <n>
+//   family <t> : <idx_gender0> <idx_gender1> ... <idx_gender{k-1}>
+// BinaryMatchingKP format:
+//   kstable-binary v1
+//   <k> <n>
+//   pair <flat_a> <flat_b>            (each unordered pair once)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "prefs/matching.hpp"
+
+namespace kstable::io {
+
+void save(const KaryMatching& matching, std::ostream& os);
+KaryMatching load_kary(std::istream& is);
+std::string to_string(const KaryMatching& matching);
+KaryMatching kary_from_string(const std::string& text);
+
+void save(const BinaryMatchingKP& matching, std::ostream& os);
+BinaryMatchingKP load_binary(std::istream& is);
+std::string to_string(const BinaryMatchingKP& matching);
+BinaryMatchingKP binary_from_string(const std::string& text);
+
+}  // namespace kstable::io

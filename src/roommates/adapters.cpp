@@ -1,0 +1,152 @@
+#include "roommates/adapters.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kstable::rm {
+
+namespace {
+
+/// Combined total order of `m` over all other-gender members, per policy.
+std::vector<Person> linearize(const KPartiteInstance& inst, MemberId m,
+                              Linearization lin, Rng* rng) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  std::vector<Gender> others;
+  for (Gender h = 0; h < k; ++h) {
+    if (h != m.gender) others.push_back(h);
+  }
+  std::vector<Person> combined;
+  combined.reserve(static_cast<std::size_t>(k - 1) * static_cast<std::size_t>(n));
+
+  switch (lin) {
+    case Linearization::round_robin:
+      for (Index r = 0; r < n; ++r) {
+        for (const Gender h : others) {
+          combined.push_back(
+              flat_id({h, inst.pref_list(m, h)[static_cast<std::size_t>(r)]}, n));
+        }
+      }
+      break;
+    case Linearization::gender_blocks:
+      for (const Gender h : others) {
+        for (const Index idx : inst.pref_list(m, h)) {
+          combined.push_back(flat_id({h, idx}, n));
+        }
+      }
+      break;
+    case Linearization::random_interleave: {
+      KSTABLE_REQUIRE(rng != nullptr,
+                      "random_interleave linearization needs an Rng");
+      std::vector<std::size_t> cursor(others.size(), 0);
+      std::size_t remaining_lists = others.size();
+      while (remaining_lists > 0) {
+        // Draw among genders with entries left, then take its next-best.
+        auto pick = rng->below(remaining_lists);
+        for (std::size_t oi = 0; oi < others.size(); ++oi) {
+          if (cursor[oi] >= static_cast<std::size_t>(n)) continue;
+          if (pick-- == 0) {
+            const Gender h = others[oi];
+            combined.push_back(
+                flat_id({h, inst.pref_list(m, h)[cursor[oi]++]}, n));
+            if (cursor[oi] == static_cast<std::size_t>(n)) --remaining_lists;
+            break;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return combined;
+}
+
+}  // namespace
+
+RoommatesInstance to_roommates(const KPartiteInstance& inst, Linearization lin,
+                               Rng* rng) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  std::vector<std::vector<Person>> lists(
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
+  for (Gender g = 0; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      const MemberId m{g, i};
+      lists[static_cast<std::size_t>(flat_id(m, n))] =
+          linearize(inst, m, lin, rng);
+    }
+  }
+  return RoommatesInstance(std::move(lists));
+}
+
+KPartiteBinaryResult solve_kpartite_binary(const KPartiteInstance& inst,
+                                           Linearization lin, Rng* rng) {
+  KPartiteBinaryResult result;
+  result.encoding = {inst.genders(), inst.per_gender()};
+  const RoommatesInstance rm_inst = to_roommates(inst, lin, rng);
+  result.detail = solve(rm_inst);
+  result.has_stable = result.detail.has_stable;
+  if (result.has_stable) result.partner = result.detail.match;
+  return result;
+}
+
+FairSmpResult solve_fair_smp(const KPartiteInstance& inst, Gender men,
+                             Gender women, FairPolicy policy) {
+  KSTABLE_REQUIRE(men != women, "fair SMP needs two distinct genders");
+  const Index n = inst.per_gender();
+  // Persons: men are 0..n-1, women are n..2n-1 — a bipartite roommates
+  // instance with incomplete (cross-side only) lists.
+  std::vector<std::vector<Person>> lists(2 * static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    auto& mlist = lists[static_cast<std::size_t>(i)];
+    for (const Index w : inst.pref_list({men, i}, women)) mlist.push_back(n + w);
+    auto& wlist = lists[static_cast<std::size_t>(n + i)];
+    for (const Index m : inst.pref_list({women, i}, men)) wlist.push_back(m);
+  }
+  const RoommatesInstance rm_inst(std::move(lists));
+
+  // In a bipartite table a rotation's x-side is the side the search starts
+  // from, and eliminating it demotes that side to second choices. So a
+  // man-oriented outcome eliminates woman-side rotations and vice versa.
+  const bool start_women_first = (policy == FairPolicy::man_oriented);
+  auto side_has_wide_list = [n](const ReductionTable& table, bool women_side,
+                                Person& out) {
+    const Person lo = women_side ? n : 0;
+    const Person hi = women_side ? 2 * n : n;
+    for (Person p = lo; p < hi; ++p) {
+      if (table.list_size(p) >= 2) {
+        out = p;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  SolveOptions options;
+  bool next_women = start_women_first;
+  options.pick_start = [&, policy](const ReductionTable& table) -> Person {
+    bool want_women = next_women;
+    if (policy == FairPolicy::alternate) next_women = !next_women;
+    Person p = -1;
+    if (side_has_wide_list(table, want_women, p)) return p;
+    if (side_has_wide_list(table, !want_women, p)) return p;
+    return -1;  // all singletons; solver terminates
+  };
+
+  FairSmpResult result;
+  result.detail = solve(rm_inst, options);
+  result.has_stable = result.detail.has_stable;
+  KSTABLE_ENSURE(result.has_stable,
+                 "bipartite instances always admit a stable matching");
+  result.man_match.assign(static_cast<std::size_t>(n), -1);
+  result.woman_match.assign(static_cast<std::size_t>(n), -1);
+  for (Index i = 0; i < n; ++i) {
+    const Person partner = result.detail.match[static_cast<std::size_t>(i)];
+    KSTABLE_ENSURE(partner >= n, "man " << i << " matched to a man");
+    result.man_match[static_cast<std::size_t>(i)] = partner - n;
+    result.woman_match[static_cast<std::size_t>(partner - n)] = i;
+  }
+  return result;
+}
+
+}  // namespace kstable::rm

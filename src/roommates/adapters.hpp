@@ -1,0 +1,89 @@
+// Front-ends that reduce the paper's binary-matching problems to the stable
+// roommates solver.
+//
+// §III.A/B: stable *binary* matching in a complete balanced k-partite graph is
+// a stable-roommates instance with incomplete lists — every member ranks all
+// members of the other genders (one combined total order) and excludes its
+// own gender. For members whose preferences are stored per-gender
+// (KPartiteInstance), the combined order is produced by a linearization
+// policy (the paper's footnote 4: the per-gender total orders form a partial
+// order that "can be converted into a global total order in various ways").
+//
+// §III.B end: the same solver applied to a bipartite instance solves the SMP
+// with *procedural fairness*: phase 1 has both sides propose simultaneously,
+// and phase 2's rotation eliminations can alternate between man-oriented and
+// woman-oriented loop breaking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "prefs/kpartite.hpp"
+#include "roommates/solver.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::rm {
+
+/// How to merge a member's k-1 per-gender preference lists into one combined
+/// total order.
+enum class Linearization {
+  round_robin,      ///< rank 0 of each gender (in gender order), then rank 1, ...
+  gender_blocks,    ///< whole list of the lowest gender id first, then next, ...
+  random_interleave ///< random merge preserving each per-gender order
+};
+
+/// Maps a flat person id in the roommates instance back to a k-partite
+/// member and vice versa (person = gender * n + index).
+struct KPartiteBinaryEncoding {
+  Gender k = 0;
+  Index n = 0;
+  [[nodiscard]] Person person(MemberId m) const { return flat_id(m, n); }
+  [[nodiscard]] MemberId member(Person p) const { return member_of(p, n); }
+};
+
+/// Builds the incomplete-list roommates instance for binary matching in
+/// `inst` under the given linearization. `rng` is used only by
+/// Linearization::random_interleave (may be null otherwise).
+RoommatesInstance to_roommates(const KPartiteInstance& inst,
+                               Linearization lin, Rng* rng = nullptr);
+
+/// Result of a k-partite binary matching attempt.
+struct KPartiteBinaryResult {
+  bool has_stable = false;
+  /// partner[flat_id(m)] = flat id of m's partner (cross-gender).
+  std::vector<Person> partner;
+  RoommatesResult detail;
+  KPartiteBinaryEncoding encoding;
+};
+
+/// Detects/finds a stable binary matching of `inst` (paper §III.B process).
+KPartiteBinaryResult solve_kpartite_binary(const KPartiteInstance& inst,
+                                           Linearization lin,
+                                           Rng* rng = nullptr);
+
+/// --- Fair SMP (§III.B end) -------------------------------------------------
+
+/// Rotation-elimination fairness policy for bipartite instances.
+enum class FairPolicy {
+  man_oriented,    ///< always break loops so men keep their first choices
+  woman_oriented,  ///< always break loops so women keep their first choices
+  alternate        ///< alternate sides each rotation (procedural fairness)
+};
+
+struct FairSmpResult {
+  bool has_stable = false;  ///< always true for bipartite instances
+  /// man_match[i] = woman index matched to man i; woman_match likewise.
+  std::vector<Index> man_match;
+  std::vector<Index> woman_match;
+  RoommatesResult detail;
+};
+
+/// Solves the SMP on genders (men, women) of `inst` via the roommates
+/// algorithm with policy-driven rotation elimination. With
+/// FairPolicy::man_oriented the outcome equals men-proposing GS; with
+/// woman_oriented, women-proposing GS; alternate lands in between.
+FairSmpResult solve_fair_smp(const KPartiteInstance& inst, Gender men,
+                             Gender women, FairPolicy policy);
+
+}  // namespace kstable::rm

@@ -1,0 +1,57 @@
+#include "roommates/examples.hpp"
+
+namespace kstable::rm::examples {
+
+RoommatesInstance sec3b_left() {
+  // m : u' w  w' u        m': u' w  u  w'
+  // w : m  m' u' u        w': m' m  u  u'
+  // u : m  m' w' w        u': m  w  w' m'
+  return RoommatesInstance({
+      {kUp, kW, kWp, kU},   // m
+      {kUp, kW, kU, kWp},   // m'
+      {kM, kMp, kUp, kU},   // w
+      {kMp, kM, kU, kUp},   // w'
+      {kM, kMp, kWp, kW},   // u
+      {kM, kW, kWp, kMp},   // u'
+  });
+}
+
+RoommatesInstance sec3b_right() {
+  // m : w' u' u w         m': w' w  u u'
+  // w : m' m  u u'        w': m  m' u u'
+  // u : m  m' w w'        u': m  w' w m'
+  return RoommatesInstance({
+      {kWp, kUp, kU, kW},   // m
+      {kWp, kW, kU, kUp},   // m'
+      {kMp, kM, kU, kUp},   // w
+      {kM, kMp, kU, kUp},   // w'
+      {kM, kMp, kW, kWp},   // u
+      {kM, kWp, kW, kMp},   // u'
+  });
+}
+
+RoommatesInstance self_matching_unstable() {
+  // Cross-gender lists for M and W; U members may also pair internally.
+  // Top-rank cycle: m→w, w→m', m'→w', w'→u, u→m; u' is universally last.
+  return RoommatesInstance({
+      {kW, kWp, kU, kUp},        // m : w first, u' last
+      {kWp, kW, kU, kUp},        // m': w' first
+      {kMp, kM, kU, kUp},        // w : m' first
+      {kU, kM, kMp, kUp},        // w': u first
+      {kM, kMp, kW, kWp, kUp},   // u : m first; may pair with u'
+      {kM, kMp, kW, kWp, kU},    // u': arbitrary, everyone ranks u' last
+  });
+}
+
+RoommatesInstance fig2_deadlock() {
+  // Bipartite: men {m=0, m'=1}, women {w=2, w'=3}.
+  // m : w  w'    m': w' w     w : m' m     w': m  m'
+  return RoommatesInstance({
+      {2, 3},  // m  : w > w'
+      {3, 2},  // m' : w' > w
+      {1, 0},  // w  : m' > m
+      {0, 1},  // w' : m > m'
+  });
+}
+
+}  // namespace kstable::rm::examples

@@ -1,0 +1,32 @@
+// The paper's combined-ranking worked examples for the roommates solver
+// (§III.A self-matching remark and the two §III.B instances).
+//
+// Person numbering follows the paper's tripartite cast:
+//   m = 0, m' = 1, w = 2, w' = 3, u = 4, u' = 5.
+#pragma once
+
+#include "roommates/instance.hpp"
+
+namespace kstable::rm::examples {
+
+inline constexpr Person kM = 0, kMp = 1, kW = 2, kWp = 3, kU = 4, kUp = 5;
+
+/// §III.B left-hand instance. Has the stable binary matching
+/// (m, u'), (m', w), (w', u).
+RoommatesInstance sec3b_left();
+
+/// §III.B right-hand instance. Has NO stable binary matching (u's reduced
+/// list empties).
+RoommatesInstance sec3b_right();
+
+/// §III.A self-matching example: gender U may pair internally, the top-rank
+/// cycle is m→w, w→m', m'→w', w'→u, u→m, and u' is ranked last by everyone.
+/// No stable matching exists regardless of where u' is matched.
+RoommatesInstance self_matching_unstable();
+
+/// The §III.B deadlock SMP (Fig. 2): m→w, w→m', m'→w', w'→m circular first
+/// choices, encoded as a bipartite roommates instance (men 0..1 = m, m';
+/// women 2..3 = w, w').
+RoommatesInstance fig2_deadlock();
+
+}  // namespace kstable::rm::examples

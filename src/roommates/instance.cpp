@@ -1,0 +1,56 @@
+#include "roommates/instance.hpp"
+
+#include "util/check.hpp"
+
+namespace kstable::rm {
+
+RoommatesInstance::RoommatesInstance(std::vector<std::vector<Person>> lists)
+    : lists_(std::move(lists)) {
+  const auto n = static_cast<Person>(lists_.size());
+  KSTABLE_REQUIRE(n >= 1, "empty roommates instance");
+  rank_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+               kUnacceptable);
+  for (Person p = 0; p < n; ++p) {
+    const auto& list = lists_[static_cast<std::size_t>(p)];
+    for (std::size_t pos = 0; pos < list.size(); ++pos) {
+      const Person q = list[pos];
+      KSTABLE_REQUIRE(q >= 0 && q < n,
+                      "person " << p << " lists out-of-range id " << q);
+      KSTABLE_REQUIRE(q != p, "person " << p << " lists itself");
+      KSTABLE_REQUIRE(rank_[rank_index(p, q)] == kUnacceptable,
+                      "person " << p << " lists " << q << " twice");
+      rank_[rank_index(p, q)] = static_cast<std::int32_t>(pos);
+      ++entries_;
+    }
+  }
+  // Symmetry: acceptability must be mutual.
+  for (Person p = 0; p < n; ++p) {
+    for (const Person q : lists_[static_cast<std::size_t>(p)]) {
+      KSTABLE_REQUIRE(rank_[rank_index(q, p)] != kUnacceptable,
+                      "asymmetric acceptability: " << p << " lists " << q
+                          << " but not vice versa");
+    }
+  }
+}
+
+const std::vector<Person>& RoommatesInstance::list(Person p) const {
+  KSTABLE_REQUIRE(p >= 0 && p < size(), "person " << p << " out of range");
+  return lists_[static_cast<std::size_t>(p)];
+}
+
+std::int32_t RoommatesInstance::rank_of(Person p, Person q) const {
+  KSTABLE_REQUIRE(p >= 0 && p < size() && q >= 0 && q < size(),
+                  "rank_of(" << p << ',' << q << ") out of range");
+  return rank_[rank_index(p, q)];
+}
+
+bool RoommatesInstance::prefers(Person p, Person a, Person b) const {
+  const std::int32_t ra = rank_of(p, a);
+  const std::int32_t rb = rank_of(p, b);
+  KSTABLE_REQUIRE(ra != kUnacceptable && rb != kUnacceptable,
+                  "prefers(" << p << "): " << a << " or " << b
+                             << " unacceptable");
+  return ra < rb;
+}
+
+}  // namespace kstable::rm

@@ -1,0 +1,66 @@
+// RoommatesInstance: a single-set matching instance with (possibly
+// incomplete) strict preference lists — the input model of Irving's stable
+// roommates algorithm.
+//
+// The paper (§III.B) reduces stable *binary* matching in k-partite graphs to
+// exactly this: a roommates instance with incomplete lists (members of the
+// same gender are mutually unacceptable), solved by the two-phase Irving
+// algorithm. It also reuses the solver on bipartite instances to obtain
+// procedurally fair stable marriages (alternating rotation elimination).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace kstable::rm {
+
+/// Person identifier in [0, size()).
+using Person = std::int32_t;
+
+/// Rank value meaning "unacceptable".
+inline constexpr std::int32_t kUnacceptable =
+    std::numeric_limits<std::int32_t>::max();
+
+/// Immutable roommates instance. Lists must be *symmetric* (q on p's list iff
+/// p on q's list); validate() enforces this, since an asymmetric pair can
+/// never match and the paper's bidirectional-removal rule presumes symmetry.
+class RoommatesInstance {
+ public:
+  /// Builds from per-person preference lists (best first). Throws
+  /// ContractViolation on self-reference, duplicates, out-of-range ids, or
+  /// asymmetric acceptability.
+  explicit RoommatesInstance(std::vector<std::vector<Person>> lists);
+
+  [[nodiscard]] Person size() const noexcept {
+    return static_cast<Person>(lists_.size());
+  }
+
+  /// Preference list of `p` (best first).
+  [[nodiscard]] const std::vector<Person>& list(Person p) const;
+
+  /// Rank (= position) of `q` on p's list; kUnacceptable if absent.
+  [[nodiscard]] std::int32_t rank_of(Person p, Person q) const;
+
+  [[nodiscard]] bool acceptable(Person p, Person q) const {
+    return rank_of(p, q) != kUnacceptable;
+  }
+
+  /// True iff p strictly prefers a over b (both must be acceptable to p).
+  [[nodiscard]] bool prefers(Person p, Person a, Person b) const;
+
+  /// Total number of (directed) list entries.
+  [[nodiscard]] std::int64_t entry_count() const noexcept { return entries_; }
+
+ private:
+  std::vector<std::vector<Person>> lists_;
+  std::vector<std::int32_t> rank_;  // size() x size(), row-major
+  std::int64_t entries_ = 0;
+
+  [[nodiscard]] std::size_t rank_index(Person p, Person q) const noexcept {
+    return static_cast<std::size_t>(p) * static_cast<std::size_t>(lists_.size()) +
+           static_cast<std::size_t>(q);
+  }
+};
+
+}  // namespace kstable::rm

@@ -1,0 +1,104 @@
+#include "roommates/io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kstable::rm::io {
+
+namespace {
+
+constexpr const char* kMagic = "kstable-roommates";
+constexpr const char* kVersion = "v1";
+
+std::optional<std::string> next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r") != std::string::npos) return line;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void save(const RoommatesInstance& inst, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n' << inst.size() << '\n';
+  for (Person p = 0; p < inst.size(); ++p) {
+    os << "list " << p << " :";
+    for (const Person q : inst.list(p)) os << ' ' << q;
+    os << '\n';
+  }
+}
+
+RoommatesInstance load(std::istream& is) {
+  auto header = next_line(is);
+  KSTABLE_REQUIRE(header.has_value(), "empty roommates stream");
+  {
+    std::istringstream hs(*header);
+    std::string magic, version;
+    hs >> magic >> version;
+    KSTABLE_REQUIRE(magic == kMagic && version == kVersion,
+                    "bad header '" << *header << "'");
+  }
+  auto dims = next_line(is);
+  KSTABLE_REQUIRE(dims.has_value(), "missing size line");
+  Person n = 0;
+  {
+    std::istringstream ds(*dims);
+    ds >> n;
+    KSTABLE_REQUIRE(!ds.fail() && n >= 1, "bad size line '" << *dims << "'");
+  }
+  std::vector<std::vector<Person>> lists(static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  while (auto line = next_line(is)) {
+    std::istringstream ls(*line);
+    std::string tag, colon;
+    Person p = 0;
+    ls >> tag >> p >> colon;
+    KSTABLE_REQUIRE(!ls.fail() && tag == "list" && colon == ":",
+                    "bad list line '" << *line << "'");
+    KSTABLE_REQUIRE(p >= 0 && p < n, "person " << p << " out of range");
+    KSTABLE_REQUIRE(!seen[static_cast<std::size_t>(p)],
+                    "duplicate list for person " << p);
+    seen[static_cast<std::size_t>(p)] = true;
+    Person q = 0;
+    while (ls >> q) lists[static_cast<std::size_t>(p)].push_back(q);
+  }
+  for (Person p = 0; p < n; ++p) {
+    KSTABLE_REQUIRE(seen[static_cast<std::size_t>(p)],
+                    "missing list for person " << p);
+  }
+  return RoommatesInstance(std::move(lists));
+}
+
+void save_file(const RoommatesInstance& inst, const std::string& path) {
+  std::ofstream os(path);
+  KSTABLE_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  save(inst, os);
+  KSTABLE_REQUIRE(os.good(), "write to '" << path << "' failed");
+}
+
+RoommatesInstance load_file(const std::string& path) {
+  std::ifstream is(path);
+  KSTABLE_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+  return load(is);
+}
+
+std::string to_string(const RoommatesInstance& inst) {
+  std::ostringstream os;
+  save(inst, os);
+  return os.str();
+}
+
+RoommatesInstance from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+}  // namespace kstable::rm::io

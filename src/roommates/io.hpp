@@ -1,0 +1,26 @@
+// Text serialization for RoommatesInstance.
+//
+// Format (line oriented, '#' comments allowed):
+//   kstable-roommates v1
+//   <n>
+//   list <p> : <q_0> <q_1> ...     (one line per person; may be empty lists)
+// All n persons must appear; lists must be symmetric (validated on load).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "roommates/instance.hpp"
+
+namespace kstable::rm::io {
+
+void save(const RoommatesInstance& inst, std::ostream& os);
+RoommatesInstance load(std::istream& is);
+
+void save_file(const RoommatesInstance& inst, const std::string& path);
+RoommatesInstance load_file(const std::string& path);
+
+std::string to_string(const RoommatesInstance& inst);
+RoommatesInstance from_string(const std::string& text);
+
+}  // namespace kstable::rm::io

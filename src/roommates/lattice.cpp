@@ -1,0 +1,195 @@
+#include "roommates/lattice.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "roommates/table.hpp"
+#include "util/check.hpp"
+
+namespace kstable::rm {
+
+namespace {
+
+/// Bipartite roommates instance: men are persons [0, n), women [n, 2n).
+RoommatesInstance bipartite_instance(const KPartiteInstance& inst, Gender men,
+                                     Gender women) {
+  const Index n = inst.per_gender();
+  std::vector<std::vector<Person>> lists(2 * static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    for (const Index w : inst.pref_list({men, i}, women)) {
+      lists[static_cast<std::size_t>(i)].push_back(n + w);
+    }
+    for (const Index m : inst.pref_list({women, i}, men)) {
+      lists[static_cast<std::size_t>(n + i)].push_back(m);
+    }
+  }
+  return RoommatesInstance(std::move(lists));
+}
+
+/// Men's current matching read off the table (first choices).
+std::vector<Index> current_matching(const ReductionTable& table, Index n) {
+  std::vector<Index> man_match(static_cast<std::size_t>(n));
+  for (Index m = 0; m < n; ++m) {
+    const Person w = table.first(m);
+    KSTABLE_ASSERT(w >= n);
+    man_match[static_cast<std::size_t>(m)] = w - n;
+  }
+  return man_match;
+}
+
+/// All man-side rotations exposed in `table`, canonicalized by rotating each
+/// cycle to start at its smallest man.
+std::vector<std::vector<Person>> exposed_rotations(const ReductionTable& table,
+                                                   Index n) {
+  std::vector<std::vector<Person>> rotations;
+  std::set<Person> covered;  // men already known to sit on some found cycle
+  for (Person start = 0; start < n; ++start) {
+    if (table.list_size(start) < 2 || covered.count(start) != 0) continue;
+    // Chain m -> last(second(m)) until a repeat; extract the cycle.
+    std::vector<Person> chain;
+    std::set<Person> on_chain;
+    Person m = start;
+    while (on_chain.insert(m).second) {
+      chain.push_back(m);
+      const Person via = table.second(m);
+      KSTABLE_ASSERT(via >= 0);
+      m = table.last(via);
+      KSTABLE_ASSERT(m >= 0 && m < n);
+    }
+    const auto begin = std::find(chain.begin(), chain.end(), m);
+    std::vector<Person> cycle(begin, chain.end());
+    // Canonical start: smallest man.
+    const auto min_it = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), min_it, cycle.end());
+    for (const Person x : cycle) covered.insert(x);
+    if (std::find(rotations.begin(), rotations.end(), cycle) ==
+        rotations.end()) {
+      rotations.push_back(std::move(cycle));
+    }
+  }
+  return rotations;
+}
+
+/// Eliminates the man-side rotation `cycle` in `table` (rank-based, matching
+/// the solver's phase-2 semantics).
+void eliminate(ReductionTable& table, const std::vector<Person>& cycle) {
+  const RoommatesInstance& inst = table.instance();
+  std::vector<Person> seconds(cycle.size());
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    seconds[i] = table.second(cycle[i]);
+    KSTABLE_ASSERT(seconds[i] >= 0);
+  }
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    table.truncate_worse_than(seconds[i], inst.rank_of(seconds[i], cycle[i]));
+  }
+}
+
+struct DfsState {
+  Index n;
+  LatticeOptions options;
+  LatticeResult* result;
+  std::set<std::vector<Index>> visited;
+};
+
+void dfs(DfsState& state, const ReductionTable& table) {
+  const auto matching = current_matching(table, state.n);
+  if (!state.visited.insert(matching).second) return;  // lattice memoization
+  if (state.options.max_matchings > 0 &&
+      static_cast<std::int64_t>(state.result->matchings.size()) >=
+          state.options.max_matchings) {
+    state.result->truncated = true;
+    return;
+  }
+  state.result->matchings.push_back(matching);
+  for (const auto& rotation : exposed_rotations(table, state.n)) {
+    ReductionTable next = table;  // value copy of the reduction state
+    eliminate(next, rotation);
+    ++state.result->eliminations;
+    dfs(state, next);
+    if (state.result->truncated) return;
+  }
+}
+
+/// Rank-cost summary of one man->woman matching (local duplicate of the
+/// analysis module's BipartiteCosts to keep the library layering acyclic:
+/// analysis links roommates, not vice versa).
+struct Costs {
+  std::int64_t men = 0;
+  std::int64_t women = 0;
+  std::int32_t regret = 0;
+};
+
+Costs matching_costs(const KPartiteInstance& inst, Gender men, Gender women,
+                     const std::vector<Index>& man_match) {
+  Costs costs;
+  for (Index m = 0; m < inst.per_gender(); ++m) {
+    const Index w = man_match[static_cast<std::size_t>(m)];
+    const std::int32_t rm_rank = inst.rank_of({men, m}, {women, w});
+    const std::int32_t rw_rank = inst.rank_of({women, w}, {men, m});
+    costs.men += rm_rank;
+    costs.women += rw_rank;
+    costs.regret = std::max({costs.regret, rm_rank, rw_rank});
+  }
+  return costs;
+}
+
+OptimalPick pick_best(const KPartiteInstance& inst, Gender men, Gender women,
+                      const LatticeResult& lattice,
+                      std::int64_t (*objective)(const Costs&)) {
+  KSTABLE_REQUIRE(!lattice.matchings.empty(), "empty lattice result");
+  OptimalPick best;
+  bool first = true;
+  for (const auto& man_match : lattice.matchings) {
+    const std::int64_t value =
+        objective(matching_costs(inst, men, women, man_match));
+    if (first || value < best.value) {
+      best.man_match = man_match;
+      best.value = value;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+LatticeResult enumerate_stable_matchings(const KPartiteInstance& inst,
+                                         Gender men, Gender women,
+                                         const LatticeOptions& options) {
+  KSTABLE_REQUIRE(men != women, "lattice needs two distinct genders");
+  const RoommatesInstance rm_inst = bipartite_instance(inst, men, women);
+  ReductionTable table(rm_inst);
+  std::int64_t proposals = 0;
+  Person failed = -1;
+  const bool ok = run_phase1(table, proposals, failed);
+  KSTABLE_ENSURE(ok, "bipartite phase 1 cannot fail");
+
+  LatticeResult result;
+  DfsState state{inst.per_gender(), options, &result, {}};
+  dfs(state, table);
+  // The first DFS node is the untouched phase-1 table = man-optimal matching.
+  return result;
+}
+
+OptimalPick egalitarian_optimal(const KPartiteInstance& inst, Gender men,
+                                Gender women, const LatticeResult& lattice) {
+  return pick_best(inst, men, women, lattice,
+                   [](const Costs& c) { return c.men + c.women; });
+}
+
+OptimalPick sex_equal_optimal(const KPartiteInstance& inst, Gender men,
+                              Gender women, const LatticeResult& lattice) {
+  return pick_best(inst, men, women, lattice, [](const Costs& c) {
+    const std::int64_t d = c.men - c.women;
+    return d < 0 ? -d : d;
+  });
+}
+
+OptimalPick minimum_regret(const KPartiteInstance& inst, Gender men,
+                           Gender women, const LatticeResult& lattice) {
+  return pick_best(inst, men, women, lattice, [](const Costs& c) {
+    return static_cast<std::int64_t>(c.regret);
+  });
+}
+
+}  // namespace kstable::rm

@@ -1,0 +1,65 @@
+// The stable-matching lattice of a bipartite (SMP) instance.
+//
+// §III.B's fairness procedure picks *some* stable matching by alternating
+// rotation eliminations. This module makes the underlying structure explicit:
+// starting from the phase-1 table (the GS-lists), eliminating man-side
+// rotations walks down the distributive lattice of stable matchings from the
+// man-optimal to the woman-optimal element. A DFS over rotation eliminations
+// with matching-level memoization enumerates EVERY stable matching, which
+// gives exact optima to compare the §III.B heuristic against:
+//   * egalitarian-optimal  (min total rank cost),
+//   * sex-equal-optimal    (min |men cost - women cost|),
+//   * minimum-regret       (min worst rank anyone accepts).
+//
+// Cost: O(#stable_matchings · n · #rotations) time; the enumeration caps at
+// LatticeOptions::max_matchings (instances exist with exponentially many).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prefs/kpartite.hpp"
+#include "roommates/solver.hpp"
+
+namespace kstable::rm {
+
+struct LatticeOptions {
+  /// Stop after enumerating this many matchings (0 = unlimited).
+  std::int64_t max_matchings = 1 << 20;
+};
+
+struct LatticeResult {
+  /// Every stable matching as a man->woman index map; the first entry is the
+  /// man-optimal (GS) matching. Order beyond that is DFS order.
+  std::vector<std::vector<Index>> matchings;
+  /// True iff enumeration stopped at max_matchings.
+  bool truncated = false;
+  /// Total rotation eliminations performed during the walk.
+  std::int64_t eliminations = 0;
+};
+
+/// Enumerates all stable matchings of genders (men, women) of `inst`.
+LatticeResult enumerate_stable_matchings(const KPartiteInstance& inst,
+                                         Gender men, Gender women,
+                                         const LatticeOptions& options = {});
+
+/// A selected matching plus its objective value.
+struct OptimalPick {
+  std::vector<Index> man_match;
+  std::int64_t value = 0;
+};
+
+/// Minimum egalitarian cost (sum of both sides' partner ranks).
+OptimalPick egalitarian_optimal(const KPartiteInstance& inst, Gender men,
+                                Gender women, const LatticeResult& lattice);
+
+/// Minimum sex-equality cost |men cost - women cost| (§III.B's fairness
+/// objective, solved exactly).
+OptimalPick sex_equal_optimal(const KPartiteInstance& inst, Gender men,
+                              Gender women, const LatticeResult& lattice);
+
+/// Minimum regret (max partner rank over everyone).
+OptimalPick minimum_regret(const KPartiteInstance& inst, Gender men,
+                           Gender women, const LatticeResult& lattice);
+
+}  // namespace kstable::rm

@@ -1,0 +1,122 @@
+#include "roommates/table.hpp"
+
+#include "util/check.hpp"
+
+namespace kstable::rm {
+
+ReductionTable::ReductionTable(const RoommatesInstance& instance)
+    : inst_(&instance) {
+  const Person n = instance.size();
+  active_.resize(static_cast<std::size_t>(n));
+  first_pos_.assign(static_cast<std::size_t>(n), 0);
+  last_pos_.resize(static_cast<std::size_t>(n));
+  sizes_.resize(static_cast<std::size_t>(n));
+  for (Person p = 0; p < n; ++p) {
+    const auto len = instance.list(p).size();
+    active_[static_cast<std::size_t>(p)].assign(len, 1);
+    last_pos_[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(len) - 1;
+    sizes_[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(len);
+  }
+}
+
+void ReductionTable::check_person(Person p) const {
+  KSTABLE_REQUIRE(p >= 0 && p < inst_->size(),
+                  "person " << p << " out of range");
+}
+
+bool ReductionTable::active(Person p, Person q) const {
+  check_person(p);
+  const std::int32_t pos = inst_->rank_of(p, q);
+  if (pos == kUnacceptable) return false;
+  return active_[static_cast<std::size_t>(p)][static_cast<std::size_t>(pos)] != 0;
+}
+
+void ReductionTable::delete_pair(Person p, Person q) {
+  KSTABLE_ASSERT(active(p, q) && active(q, p));
+  const std::int32_t pq = inst_->rank_of(p, q);
+  const std::int32_t qp = inst_->rank_of(q, p);
+  active_[static_cast<std::size_t>(p)][static_cast<std::size_t>(pq)] = 0;
+  active_[static_cast<std::size_t>(q)][static_cast<std::size_t>(qp)] = 0;
+  --sizes_[static_cast<std::size_t>(p)];
+  --sizes_[static_cast<std::size_t>(q)];
+  ++deletions_;
+}
+
+std::int32_t ReductionTable::list_size(Person p) const {
+  check_person(p);
+  return sizes_[static_cast<std::size_t>(p)];
+}
+
+Person ReductionTable::first(Person p) const {
+  check_person(p);
+  const auto& flags = active_[static_cast<std::size_t>(p)];
+  auto& cursor = first_pos_[static_cast<std::size_t>(p)];
+  while (cursor < static_cast<std::int32_t>(flags.size()) &&
+         flags[static_cast<std::size_t>(cursor)] == 0) {
+    ++cursor;
+  }
+  if (cursor >= static_cast<std::int32_t>(flags.size())) return -1;
+  return inst_->list(p)[static_cast<std::size_t>(cursor)];
+}
+
+Person ReductionTable::second(Person p) const {
+  check_person(p);
+  if (first(p) < 0) return -1;  // also settles the first cursor
+  const auto& flags = active_[static_cast<std::size_t>(p)];
+  for (std::int32_t pos = first_pos_[static_cast<std::size_t>(p)] + 1;
+       pos < static_cast<std::int32_t>(flags.size()); ++pos) {
+    if (flags[static_cast<std::size_t>(pos)] != 0) {
+      return inst_->list(p)[static_cast<std::size_t>(pos)];
+    }
+  }
+  return -1;
+}
+
+Person ReductionTable::last(Person p) const {
+  check_person(p);
+  const auto& flags = active_[static_cast<std::size_t>(p)];
+  auto& cursor = last_pos_[static_cast<std::size_t>(p)];
+  while (cursor >= 0 && flags[static_cast<std::size_t>(cursor)] == 0) --cursor;
+  if (cursor < 0) return -1;
+  return inst_->list(p)[static_cast<std::size_t>(cursor)];
+}
+
+void ReductionTable::truncate_after(Person p, Person q) {
+  KSTABLE_REQUIRE(active(p, q), "truncate_after: " << q << " not active on "
+                                                   << p << "'s list");
+  truncate_worse_than(p, inst_->rank_of(p, q));
+}
+
+void ReductionTable::truncate_worse_than(Person p, std::int32_t rank) {
+  check_person(p);
+  const auto& flags = active_[static_cast<std::size_t>(p)];
+  const auto& list = inst_->list(p);
+  for (std::int32_t pos = static_cast<std::int32_t>(flags.size()) - 1;
+       pos > rank; --pos) {
+    if (flags[static_cast<std::size_t>(pos)] != 0) {
+      delete_pair(p, list[static_cast<std::size_t>(pos)]);
+    }
+  }
+}
+
+std::vector<Person> ReductionTable::active_list(Person p) const {
+  check_person(p);
+  std::vector<Person> out;
+  const auto& flags = active_[static_cast<std::size_t>(p)];
+  const auto& list = inst_->list(p);
+  for (std::size_t pos = 0; pos < flags.size(); ++pos) {
+    if (flags[pos] != 0) out.push_back(list[pos]);
+  }
+  return out;
+}
+
+bool ReductionTable::check_phase1_invariant() const {
+  for (Person p = 0; p < inst_->size(); ++p) {
+    const Person q = first(p);
+    if (q < 0) continue;
+    if (last(q) != p) return false;
+  }
+  return true;
+}
+
+}  // namespace kstable::rm

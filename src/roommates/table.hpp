@@ -1,0 +1,87 @@
+// ReductionTable: the mutable "reduced preference lists" state of Irving's
+// algorithm (paper §III.B: "The resulting reduced set of preference lists is
+// called a reduced list").
+//
+// Supports the bidirectional pair deletion rule — "if w removes m from her
+// list, it also means m removes w from his list" — plus the first/second/last
+// queries phase 2's rotation search needs. Deletions are monotone, so cached
+// first/last cursors advance lazily and total maintenance cost is linear in
+// the number of list entries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roommates/instance.hpp"
+
+namespace kstable::rm {
+
+/// Mutable view over an instance's preference lists with pair deletion.
+class ReductionTable {
+ public:
+  explicit ReductionTable(const RoommatesInstance& instance);
+
+  [[nodiscard]] const RoommatesInstance& instance() const noexcept {
+    return *inst_;
+  }
+
+  /// True iff q is still on p's list.
+  [[nodiscard]] bool active(Person p, Person q) const;
+
+  /// Deletes the pair {p, q} from both lists (bidirectional rule).
+  void delete_pair(Person p, Person q);
+
+  /// Number of entries still on p's list.
+  [[nodiscard]] std::int32_t list_size(Person p) const;
+
+  [[nodiscard]] bool empty(Person p) const { return list_size(p) == 0; }
+
+  /// First (most preferred) active entry of p's list; -1 if empty.
+  [[nodiscard]] Person first(Person p) const;
+
+  /// Second active entry; -1 if fewer than two remain.
+  [[nodiscard]] Person second(Person p) const;
+
+  /// Last (least preferred) active entry; -1 if empty.
+  [[nodiscard]] Person last(Person p) const;
+
+  /// Deletes every active entry of p's list strictly worse than q
+  /// (bidirectionally). q must still be active on p's list. This is the
+  /// paper's pruning step: "if m receives a proposal from w, he will remove
+  /// all persons u ranked lower than w".
+  void truncate_after(Person p, Person q);
+
+  /// Deletes every active entry of p's list at positions strictly greater
+  /// than `rank` (bidirectionally). Unlike truncate_after, the anchor entry
+  /// itself need not still be active — phase 2's rotation eliminations can
+  /// cascade and remove an anchor pair before its own truncation runs, but
+  /// the "everything worse than x_i goes" semantics is rank-based and stays
+  /// well-defined.
+  void truncate_worse_than(Person p, std::int32_t rank);
+
+  /// All still-active entries of p's list, best first (test/debug helper).
+  [[nodiscard]] std::vector<Person> active_list(Person p) const;
+
+  /// Total number of pair deletions performed so far (both directions count
+  /// as one).
+  [[nodiscard]] std::int64_t deletions() const noexcept { return deletions_; }
+
+  /// Verifies the stable-table invariant after phase 1: for every p with a
+  /// non-empty list, first(p) = q implies last(q) = p. Returns true iff it
+  /// holds (used by tests and as an optional postcondition).
+  [[nodiscard]] bool check_phase1_invariant() const;
+
+ private:
+  const RoommatesInstance* inst_;
+  // active_[p][pos] over positions of p's original list.
+  std::vector<std::vector<char>> active_;
+  // Cached cursors into the original lists (lazily advanced).
+  mutable std::vector<std::int32_t> first_pos_;
+  mutable std::vector<std::int32_t> last_pos_;
+  std::vector<std::int32_t> sizes_;
+  std::int64_t deletions_ = 0;
+
+  void check_person(Person p) const;
+};
+
+}  // namespace kstable::rm

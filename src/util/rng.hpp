@@ -1,0 +1,116 @@
+// Deterministic, seedable random number generation for kstable.
+//
+// All randomized components of the library (instance generators, randomized
+// blocking-family search, random binding trees) take an explicit `Rng&` so
+// every experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded through splitmix64 — fast, high quality, and independent
+// of standard-library implementation details (std::mt19937 streams differ
+// across platforms only in distribution code; we also avoid std::uniform_*
+// distributions for cross-platform determinism).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kstable {
+
+/// splitmix64 step: used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9b1f0c3d2e4a5968ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; exact (unbiased) and branch-light.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    KSTABLE_ASSERT(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    KSTABLE_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Returns a uniformly random permutation of {0, 1, ..., n-1}.
+  std::vector<std::int32_t> permutation(std::int32_t n) {
+    std::vector<std::int32_t> p(static_cast<std::size_t>(n));
+    for (std::int32_t i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+    shuffle(p);
+    return p;
+  }
+
+  /// Forks an independent child stream (for per-thread/per-instance RNGs).
+  Rng fork() noexcept { return Rng((*this)() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace kstable

@@ -1,0 +1,48 @@
+// Console table / CSV emission for the benchmark harness.
+//
+// Every bench binary prints "paper-shaped" rows (the series a figure or
+// theorem in the paper reports) before running microbenchmarks; TableWriter
+// renders those rows with aligned columns and can also dump CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace kstable {
+
+/// A single table cell: string, integer, or double.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Collects rows and renders an aligned ASCII table (or CSV).
+class TableWriter {
+ public:
+  /// `title` is printed above the table; `columns` are header names.
+  TableWriter(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<Cell> cells);
+
+  /// Renders the aligned ASCII table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders CSV (header + rows) to `os`.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string format_double(double value, int digits = 3);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace kstable

@@ -1,0 +1,32 @@
+// Lightweight wall-clock timing for benchmark harness reporting.
+#pragma once
+
+#include <chrono>
+
+namespace kstable {
+
+/// Monotonic wall-clock stopwatch, started on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed microseconds since construction / last reset().
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace kstable

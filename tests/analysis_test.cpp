@@ -1,0 +1,255 @@
+// Tests for blocking-family checkers, the k-ary oracle, and metrics.
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.hpp"
+#include "analysis/oracle.hpp"
+#include "analysis/stability.hpp"
+#include "prefs/examples.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::analysis {
+namespace {
+
+/// The paper's §II.C blocking example: families (m,w,u) and (m',w',u');
+/// m prefers w' and u', and both prefer m — so (m, w', u') blocks.
+KPartiteInstance blocking_example_instance() {
+  KPartiteInstance inst(3, 2);
+  auto set2 = [&inst](MemberId m, Gender g, Index top) {
+    inst.set_pref_list(m, g, top == 0 ? std::vector<Index>{0, 1}
+                                      : std::vector<Index>{1, 0});
+  };
+  const Gender M = 0, W = 1, U = 2;
+  set2({M, 0}, W, 1);  // m prefers w' over w
+  set2({M, 0}, U, 1);  // m prefers u' over u
+  set2({W, 1}, M, 0);  // w' prefers m over m'
+  set2({U, 1}, M, 0);  // u' prefers m over m'
+  // Remaining lists: anything; keep identity-first.
+  set2({M, 1}, W, 0);
+  set2({M, 1}, U, 0);
+  set2({W, 0}, M, 0);
+  set2({W, 0}, U, 0);
+  set2({W, 1}, U, 0);
+  set2({U, 0}, M, 0);
+  set2({U, 0}, W, 0);
+  set2({U, 1}, W, 0);
+  inst.validate();
+  return inst;
+}
+
+/// Identity matching: family t = (members with index t).
+KaryMatching identity_matching(Gender k, Index n) {
+  std::vector<Index> families(static_cast<std::size_t>(k) *
+                              static_cast<std::size_t>(n));
+  for (Index t = 0; t < n; ++t) {
+    for (Gender g = 0; g < k; ++g) {
+      families[static_cast<std::size_t>(t) * static_cast<std::size_t>(k) +
+               static_cast<std::size_t>(g)] = t;
+    }
+  }
+  return KaryMatching(k, n, std::move(families));
+}
+
+TEST(BlockingFamily, PaperSection2cExampleBlocks) {
+  const auto inst = blocking_example_instance();
+  const auto matching = identity_matching(3, 2);
+  const auto witness = find_blocking_family(inst, matching);
+  ASSERT_TRUE(witness.has_value());
+  // The witness (m, w', u') comes from two families.
+  EXPECT_EQ(witness->members, (std::vector<Index>{0, 1, 1}));
+  EXPECT_EQ(witness->source_families, 2);
+}
+
+TEST(BlockingFamily, TupleBlocksAgreesWithWitness) {
+  const auto inst = blocking_example_instance();
+  const auto matching = identity_matching(3, 2);
+  EXPECT_TRUE(tuple_blocks(inst, matching, {0, 1, 1}, BlockingMode::strict));
+  // An existing family never blocks (k' = 1).
+  EXPECT_FALSE(tuple_blocks(inst, matching, {0, 0, 0}, BlockingMode::strict));
+  EXPECT_FALSE(tuple_blocks(inst, matching, {1, 1, 1}, BlockingMode::strict));
+}
+
+TEST(BlockingFamily, MutualFirstChoicesAreStable) {
+  // Fig. 3: binding (M-W, W-U) gives (m,w,u), (m',w',u') with every bound
+  // pair a mutual first choice except the M-U cross pairs.
+  const auto inst = kstable::examples::fig3_instance();
+  const auto matching = identity_matching(3, 2);
+  EXPECT_FALSE(find_blocking_family(inst, matching).has_value());
+}
+
+TEST(BlockingFamily, PairsCheckerFindsTwoFamilyWitness) {
+  const auto inst = blocking_example_instance();
+  const auto matching = identity_matching(3, 2);
+  const auto witness =
+      find_blocking_family_pairs(inst, matching, BlockingMode::strict);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(
+      tuple_blocks(inst, matching, witness->members, BlockingMode::strict));
+}
+
+TEST(BlockingFamily, SampledCheckerFindsWitnessEventually) {
+  const auto inst = blocking_example_instance();
+  const auto matching = identity_matching(3, 2);
+  Rng rng(5);
+  const auto witness = find_blocking_family_sampled(inst, matching, rng, 1000);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(
+      tuple_blocks(inst, matching, witness->members, BlockingMode::strict));
+}
+
+TEST(BlockingFamily, PairsCheckerIsSound) {
+  Rng rng(6);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto inst = gen::uniform(3, 3, rng);
+    const auto matching = identity_matching(3, 3);
+    const bool exact = find_blocking_family(inst, matching).has_value();
+    const bool pairs =
+        find_blocking_family_pairs(inst, matching, BlockingMode::strict)
+            .has_value();
+    // pairs => exact (soundness of the restricted checker).
+    EXPECT_TRUE(!pairs || exact) << "pairs checker found a false witness";
+  }
+}
+
+TEST(WeakenedBlocking, StrictWitnessImpliesWeakenedWitness) {
+  Rng rng(7);
+  const std::vector<std::int32_t> priority{0, 1, 2};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto inst = gen::uniform(3, 3, rng);
+    const auto matching = identity_matching(3, 3);
+    const bool strict = find_blocking_family(inst, matching).has_value();
+    const bool weak =
+        find_weakened_blocking_family(inst, matching, priority).has_value();
+    EXPECT_TRUE(!strict || weak)
+        << "strict witness exists but weakened search found none";
+  }
+}
+
+TEST(WeakenedBlocking, LeadOnlyConditionIsWeaker) {
+  // Construct a tuple where only the lead members agree: it must block in
+  // weakened mode but not in strict mode.
+  KPartiteInstance inst(3, 2);
+  auto set2 = [&inst](MemberId m, Gender g, Index top) {
+    inst.set_pref_list(m, g, top == 0 ? std::vector<Index>{0, 1}
+                                      : std::vector<Index>{1, 0});
+  };
+  const Gender M = 0, W = 1, U = 2;  // priorities: U highest (2), M lowest
+  // Candidate new family: (m, w', u) — m,u from family 0, w' from family 1.
+  // Groups: {m, u} (lead u, priority 2) and {w'} (lead w').
+  // Weakened needs: u prefers w' over w;   w' prefers u over u' AND
+  //                 w' prefers m over m'.
+  set2({U, 0}, W, 1);  // u prefers w'
+  set2({W, 1}, U, 0);  // w' prefers u over u'
+  set2({W, 1}, M, 0);  // w' prefers m over m'
+  // Strict additionally needs m to prefer w' over w — make m prefer w.
+  set2({M, 0}, W, 0);  // m prefers w (kills the strict condition)
+  // Fill the rest arbitrarily.
+  set2({M, 0}, U, 0);
+  set2({M, 1}, W, 1);
+  set2({M, 1}, U, 1);
+  set2({W, 0}, M, 0);
+  set2({W, 0}, U, 0);
+  set2({U, 0}, M, 0);
+  set2({U, 1}, M, 1);
+  set2({U, 1}, W, 1);
+  inst.validate();
+  const auto matching = identity_matching(3, 2);
+  const std::vector<std::int32_t> priority{0, 1, 2};
+  EXPECT_TRUE(tuple_blocks(inst, matching, {0, 1, 0}, BlockingMode::weakened,
+                           priority));
+  EXPECT_FALSE(tuple_blocks(inst, matching, {0, 1, 0}, BlockingMode::strict));
+}
+
+TEST(WeakenedBlocking, RequiresPriorities) {
+  const auto inst = blocking_example_instance();
+  const auto matching = identity_matching(3, 2);
+  EXPECT_THROW(find_weakened_blocking_family(inst, matching, {0, 1}),
+               ContractViolation);
+}
+
+TEST(Oracle, Fig3CensusCountsFourMatchings) {
+  const auto inst = kstable::examples::fig3_instance();
+  const auto census = kary_census(inst);
+  EXPECT_EQ(census.total_matchings, 4);  // (2!)^2, §II.C's enumeration
+  EXPECT_GE(census.stable_matchings, 1);
+  ASSERT_TRUE(census.witness.has_value());
+  EXPECT_FALSE(find_blocking_family(inst, *census.witness).has_value());
+}
+
+TEST(Oracle, CensusCountsMatchTheory) {
+  Rng rng(8);
+  const auto inst = gen::uniform(4, 2, rng);
+  const auto census = kary_census(inst);
+  EXPECT_EQ(census.total_matchings, 8);  // (2!)^3
+}
+
+TEST(Oracle, WeakenedStableSubsetOfStrictStable) {
+  Rng rng(9);
+  const std::vector<std::int32_t> priority{0, 1, 2};
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = gen::uniform(3, 3, rng);
+    const auto census = kary_census(inst, priority);
+    // Weakened blocking is easier to trigger, so weakened-stable matchings
+    // are a subset of strictly stable ones.
+    EXPECT_LE(census.weakened_stable_matchings, census.stable_matchings);
+  }
+}
+
+TEST(Metrics, BipartiteCostsOnExample1) {
+  // Example 1, first preferences: GS gives (m, w'), (m', w).
+  const auto inst = kstable::examples::example1_first();
+  const std::vector<Index> man_match{1, 0};  // m->w', m'->w
+  const auto costs = bipartite_costs(inst, 0, 1, man_match);
+  // m has w' ranked 1, m' has w ranked 0 -> proposer cost 1.
+  EXPECT_EQ(costs.proposer_cost, 1);
+  // w' ranks m' first so m is rank 1; w ranks m' rank 0 -> responder cost 1.
+  EXPECT_EQ(costs.responder_cost, 1);
+  EXPECT_EQ(costs.egalitarian(), 2);
+  EXPECT_EQ(costs.sex_equality(), 0);
+  EXPECT_EQ(costs.proposer_regret, 1);
+}
+
+TEST(Metrics, KaryCostsOnFig3) {
+  const auto inst = kstable::examples::fig3_instance();
+  const auto matching = identity_matching(3, 2);
+  const auto costs = kary_costs(inst, matching);
+  // Mutual first choices M-W and W-U (rank 0 both ways) plus M-U pairs:
+  // m ranks u second (1), u ranks m first (0), m' ranks u' second (1),
+  // u' ranks m' second (1) -> total 3.
+  EXPECT_EQ(costs.total_cost, 3);
+  EXPECT_EQ(costs.regret, 1);
+  EXPECT_EQ(costs.per_gender_cost.size(), 3U);
+  std::int64_t sum = 0;
+  for (const auto c : costs.per_gender_cost) sum += c;
+  EXPECT_EQ(sum, costs.total_cost);
+}
+
+TEST(Metrics, TreeCostsChargeOnlyBoundPairs) {
+  const auto inst = kstable::examples::fig3_instance();
+  const auto matching = identity_matching(3, 2);
+  BindingStructure tree(3);
+  tree.add_edge({0, 1});
+  tree.add_edge({1, 2});
+  const auto costs = kary_tree_costs(inst, matching, tree);
+  // All bound pairs are mutual first choices -> zero cost.
+  EXPECT_EQ(costs.total_cost, 0);
+  EXPECT_EQ(costs.regret, 0);
+
+  BindingStructure with_mu(3);
+  with_mu.add_edge({0, 2});
+  const auto mu_costs = kary_tree_costs(inst, matching, with_mu);
+  EXPECT_EQ(mu_costs.total_cost, 3);  // the M-U ranks computed above
+}
+
+TEST(Metrics, SizeChecksEnforced) {
+  const auto inst = kstable::examples::fig3_instance();
+  EXPECT_THROW(bipartite_costs(inst, 0, 1, {0}), ContractViolation);
+  const auto matching = identity_matching(3, 2);
+  BindingStructure wrong_k(4);
+  wrong_k.add_edge({0, 1});
+  EXPECT_THROW(kary_tree_costs(inst, matching, wrong_k), ContractViolation);
+}
+
+}  // namespace
+}  // namespace kstable::analysis

@@ -1,0 +1,110 @@
+// Tests for the Hungarian min-cost assignment baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/assignment.hpp"
+#include "analysis/metrics.hpp"
+#include "gs/gale_shapley.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::analysis {
+namespace {
+
+std::int64_t assignment_cost(const std::vector<std::int64_t>& cost, Index n,
+                             const std::vector<Index>& row_to_col) {
+  std::int64_t total = 0;
+  for (Index i = 0; i < n; ++i) {
+    total += cost[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(row_to_col[static_cast<std::size_t>(i)])];
+  }
+  return total;
+}
+
+TEST(Hungarian, TrivialCases) {
+  EXPECT_EQ(min_cost_assignment({5}, 1), std::vector<Index>{0});
+  // 2x2: diagonal cheaper.
+  const auto a = min_cost_assignment({1, 10, 10, 1}, 2);
+  EXPECT_EQ(a, (std::vector<Index>{0, 1}));
+  // 2x2: anti-diagonal cheaper.
+  const auto b = min_cost_assignment({10, 1, 1, 10}, 2);
+  EXPECT_EQ(b, (std::vector<Index>{1, 0}));
+}
+
+TEST(Hungarian, InputValidation) {
+  EXPECT_THROW(min_cost_assignment({1, 2, 3}, 2), ContractViolation);
+  EXPECT_THROW(min_cost_assignment({}, 0), ContractViolation);
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(2300);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Index n = static_cast<Index>(2 + rng.below(5));  // 2..6
+    std::vector<std::int64_t> cost(static_cast<std::size_t>(n) *
+                                   static_cast<std::size_t>(n));
+    for (auto& c : cost) c = static_cast<std::int64_t>(rng.below(100));
+    const auto hungarian = min_cost_assignment(cost, n);
+    // Assignment is a permutation.
+    auto sorted = hungarian;
+    std::sort(sorted.begin(), sorted.end());
+    for (Index i = 0; i < n; ++i) ASSERT_EQ(sorted[static_cast<std::size_t>(i)], i);
+    // Brute force optimum.
+    std::vector<Index> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), Index{0});
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    do {
+      best = std::min(best, assignment_cost(cost, n, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(assignment_cost(cost, n, hungarian), best)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Assignment, EgalitarianOptimalBeatsGsOnCost) {
+  Rng rng(2301);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Index n = 16;
+    const auto inst = gen::uniform(2, n, rng);
+    const auto optimal = egalitarian_assignment(inst, 0, 1);
+    const auto gs_result = gs::gale_shapley_queue(inst, 0, 1);
+    const auto opt_costs = bipartite_costs(inst, 0, 1, optimal);
+    const auto gs_costs = bipartite_costs(inst, 0, 1, gs_result.proposer_match);
+    EXPECT_LE(opt_costs.egalitarian(), gs_costs.egalitarian());
+    // GS never has blocking pairs; the optimum is allowed to.
+    EXPECT_EQ(count_blocking_pairs(inst, 0, 1, gs_result.proposer_match), 0);
+    EXPECT_GE(count_blocking_pairs(inst, 0, 1, optimal), 0);
+  }
+}
+
+TEST(Assignment, OptimalAssignmentIsUsuallyUnstable) {
+  Rng rng(2302);
+  int unstable = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto inst = gen::uniform(2, 24, rng);
+    const auto optimal = egalitarian_assignment(inst, 0, 1);
+    unstable += count_blocking_pairs(inst, 0, 1, optimal) > 0;
+  }
+  EXPECT_GT(unstable, trials / 2);
+}
+
+TEST(Assignment, CostMatrixIsSymmetricInDefinition) {
+  Rng rng(2303);
+  const auto inst = gen::uniform(2, 5, rng);
+  const auto cost_ab = egalitarian_cost_matrix(inst, 0, 1);
+  const auto cost_ba = egalitarian_cost_matrix(inst, 1, 0);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      EXPECT_EQ(cost_ab[static_cast<std::size_t>(i) * 5 +
+                        static_cast<std::size_t>(j)],
+                cost_ba[static_cast<std::size_t>(j) * 5 +
+                        static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kstable::analysis

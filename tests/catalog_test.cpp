@@ -1,0 +1,54 @@
+// Tests for the named-instance catalog.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "prefs/catalog.hpp"
+#include "prefs/examples.hpp"
+#include "util/check.hpp"
+
+namespace kstable::examples {
+namespace {
+
+TEST(Catalog, AllEntriesBuildValidInstances) {
+  const auto entries = catalog();
+  EXPECT_GE(entries.size(), 8U);
+  for (const auto& entry : entries) {
+    const auto inst = build(entry.name);
+    EXPECT_NO_THROW(inst.validate()) << entry.name;
+    EXPECT_FALSE(entry.description.empty());
+  }
+}
+
+TEST(Catalog, NamesAreUnique) {
+  const auto entries = catalog();
+  std::set<std::string> names;
+  for (const auto& entry : entries) {
+    EXPECT_TRUE(names.insert(entry.name).second)
+        << "duplicate name " << entry.name;
+  }
+}
+
+TEST(Catalog, KnownInstancesMatchDirectConstructors) {
+  EXPECT_EQ(build("fig3"), fig3_instance());
+  EXPECT_EQ(build("example1-first"), example1_first());
+}
+
+TEST(Catalog, BuildsAreDeterministic) {
+  EXPECT_EQ(build("uniform-3x8"), build("uniform-3x8"));
+  EXPECT_EQ(build("euclidean-3x16"), build("euclidean-3x16"));
+}
+
+TEST(Catalog, UnknownNameThrowsWithSuggestions) {
+  try {
+    build("nope");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown instance"), std::string::npos);
+    EXPECT_NE(what.find("fig3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace kstable::examples

@@ -1,0 +1,193 @@
+// Tests for union-find and the equivalence-class derivation of §IV.A.
+#include <gtest/gtest.h>
+
+#include "core/equivalence.hpp"
+#include "graph/prufer.hpp"
+#include "gs/gale_shapley.hpp"
+#include "prefs/examples.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::core {
+namespace {
+
+TEST(UnionFind, BasicOperations) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.size(), 6);
+  EXPECT_NE(uf.find(0), uf.find(1));
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already joined
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.find(1), uf.find(2));
+  EXPECT_NE(uf.find(4), uf.find(5));
+}
+
+TEST(UnionFind, Reflexivity) {
+  UnionFind uf(3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(uf.find(i), uf.find(i));
+}
+
+/// Builds the GS results for a structure's edges.
+std::vector<gs::GsResult> run_edges(const KPartiteInstance& inst,
+                                    const BindingStructure& s) {
+  std::vector<gs::GsResult> results;
+  for (const auto& e : s.edges()) {
+    results.push_back(gs::gale_shapley_queue(inst, e.a, e.b));
+  }
+  return results;
+}
+
+TEST(DeriveFamilies, Fig3TreeGivesPaperTuples) {
+  // Bindings M-W and W-U on the Fig. 3 instance produce (m,w,u), (m',w',u').
+  const auto inst = kstable::examples::fig3_instance();
+  BindingStructure tree(3);
+  tree.add_edge({0, 1});
+  tree.add_edge({1, 2});
+  const auto results = run_edges(inst, tree);
+  const auto report = derive_families(inst, tree, results);
+  ASSERT_TRUE(report.consistent);
+  EXPECT_EQ(report.class_count, 2);
+  const auto& m = *report.matching;
+  // Family containing m must contain w and u.
+  const Index fam_m = m.family_of({0, 0});
+  EXPECT_EQ(m.member_at(fam_m, 1), (MemberId{1, 0}));
+  EXPECT_EQ(m.member_at(fam_m, 2), (MemberId{2, 0}));
+}
+
+TEST(DeriveFamilies, SpanningTreesAlwaysConsistent) {
+  Rng rng(200);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Gender k = static_cast<Gender>(3 + rng.below(4));
+    const Index n = static_cast<Index>(2 + rng.below(6));
+    const auto inst = gen::uniform(k, n, rng);
+    const auto tree = prufer::random_tree(k, rng);
+    const auto results = run_edges(inst, tree);
+    const auto report = derive_families(inst, tree, results);
+    ASSERT_TRUE(report.consistent) << report.inconsistency;
+    EXPECT_EQ(report.class_count, n);
+    // Every member is in exactly one family (KaryMatching validated it).
+    EXPECT_EQ(report.matching->family_count(), n);
+  }
+}
+
+TEST(DeriveFamilies, ForestAssemblesByIndex) {
+  Rng rng(201);
+  const auto inst = gen::uniform(4, 3, rng);
+  BindingStructure forest(4);
+  forest.add_edge({0, 1});  // component {0,1}; genders 2, 3 isolated
+  const auto results = run_edges(inst, forest);
+  const auto report = derive_families(inst, forest, results);
+  ASSERT_TRUE(report.consistent);
+  // Classes: 3 pairs + 3 + 3 singletons = 9.
+  EXPECT_EQ(report.class_count, 9);
+  ASSERT_TRUE(report.matching.has_value());
+  const auto& m = *report.matching;
+  // Isolated genders are joined by index: family t gets (2, t) and (3, t).
+  for (Index t = 0; t < 3; ++t) {
+    EXPECT_EQ(m.member_at(t, 2).index, t);
+    EXPECT_EQ(m.member_at(t, 3).index, t);
+  }
+  // The bound component's pairs stay together.
+  for (Index t = 0; t < 3; ++t) {
+    const MemberId a = m.member_at(t, 0);
+    const MemberId b = m.member_at(t, 1);
+    const auto& gs_result = results[0];
+    EXPECT_EQ(gs_result.proposer_match[static_cast<std::size_t>(a.index)],
+              b.index);
+  }
+}
+
+TEST(DeriveFamilies, EmptyStructureIsIdentityAssembly) {
+  Rng rng(202);
+  const auto inst = gen::uniform(3, 4, rng);
+  const BindingStructure empty(3);
+  const auto report = derive_families(inst, empty, {});
+  ASSERT_TRUE(report.consistent);
+  EXPECT_EQ(report.class_count, 12);  // all singletons
+  for (Index t = 0; t < 4; ++t) {
+    for (Gender g = 0; g < 3; ++g) {
+      EXPECT_EQ(report.matching->member_at(t, g).index, t);
+    }
+  }
+}
+
+TEST(DeriveFamilies, DetectsCycleInconsistency) {
+  // Force a conflict: on a 3-cycle, make GS(0,1) and GS(1,2) pair index-wise
+  // but GS(2,0) pair crosswise; the class of (0,0) then contains (0,1) too.
+  KPartiteInstance inst(3, 2);
+  auto set2 = [&inst](MemberId m, Gender g, Index top) {
+    inst.set_pref_list(m, g, top == 0 ? std::vector<Index>{0, 1}
+                                      : std::vector<Index>{1, 0});
+  };
+  // Mutual first choices: (0,i)-(1,i) and (1,i)-(2,i).
+  for (Index i = 0; i < 2; ++i) {
+    set2({0, i}, 1, i);
+    set2({1, i}, 0, i);
+    set2({1, i}, 2, i);
+    set2({2, i}, 1, i);
+  }
+  // Crosswise mutual first choices between genders 2 and 0.
+  for (Index i = 0; i < 2; ++i) {
+    set2({2, i}, 0, 1 - i);
+    set2({0, i}, 2, 1 - i);
+  }
+  inst.validate();
+
+  BindingStructure cycle(3);
+  cycle.add_edge({0, 1});
+  cycle.add_edge({1, 2});
+  cycle.add_edge({2, 0});
+  const auto results = run_edges(inst, cycle);
+  const auto report = derive_families(inst, cycle, results);
+  EXPECT_FALSE(report.consistent);
+  EXPECT_NE(report.inconsistency.find("cycle"), std::string::npos);
+  EXPECT_FALSE(report.matching.has_value());
+}
+
+TEST(DeriveFamilies, ConsistentCycleIsAccepted) {
+  // If all three bindings agree (index-wise mutual first choices everywhere),
+  // a cycle is harmless and the classes are valid tuples.
+  KPartiteInstance inst(3, 2);
+  auto set2 = [&inst](MemberId m, Gender g, Index top) {
+    inst.set_pref_list(m, g, top == 0 ? std::vector<Index>{0, 1}
+                                      : std::vector<Index>{1, 0});
+  };
+  for (Gender g = 0; g < 3; ++g) {
+    for (Gender h = 0; h < 3; ++h) {
+      if (g == h) continue;
+      for (Index i = 0; i < 2; ++i) set2({g, i}, h, i);
+    }
+  }
+  inst.validate();
+  BindingStructure cycle(3);
+  cycle.add_edge({0, 1});
+  cycle.add_edge({1, 2});
+  cycle.add_edge({2, 0});
+  const auto results = run_edges(inst, cycle);
+  const auto report = derive_families(inst, cycle, results);
+  ASSERT_TRUE(report.consistent);
+  for (Index t = 0; t < 2; ++t) {
+    for (Gender g = 0; g < 3; ++g) {
+      EXPECT_EQ(report.matching->member_at(t, g).index, t);
+    }
+  }
+}
+
+TEST(DeriveFamilies, RejectsMismatchedResults) {
+  Rng rng(203);
+  const auto inst = gen::uniform(3, 2, rng);
+  BindingStructure tree(3);
+  tree.add_edge({0, 1});
+  tree.add_edge({1, 2});
+  auto results = run_edges(inst, tree);
+  std::swap(results[0], results[1]);  // wrong order vs. edges()
+  EXPECT_THROW(derive_families(inst, tree, results), ContractViolation);
+  results.pop_back();
+  EXPECT_THROW(derive_families(inst, tree, results), ContractViolation);
+}
+
+}  // namespace
+}  // namespace kstable::core

@@ -1,0 +1,200 @@
+// Tests for the parallel binding executor and PRAM cost model
+// (§IV.C, Corollaries 1-2).
+#include <gtest/gtest.h>
+
+#include "core/parallel_binding.hpp"
+#include "graph/prufer.hpp"
+#include "parallel/pram.hpp"
+#include "parallel/thread_pool.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::core {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3U);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ForEachIndexCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.for_each_index(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ForEachIndexPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_each_index(
+                   10,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(1);
+  EXPECT_NO_THROW(pool.for_each_index(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(Pram, CeilLog2Values) {
+  EXPECT_EQ(pram::ceil_log2(1), 0);
+  EXPECT_EQ(pram::ceil_log2(2), 1);
+  EXPECT_EQ(pram::ceil_log2(3), 2);
+  EXPECT_EQ(pram::ceil_log2(4), 2);
+  EXPECT_EQ(pram::ceil_log2(5), 3);
+  EXPECT_THROW(pram::ceil_log2(0), ContractViolation);
+}
+
+TEST(Pram, ErewChargesColoringRounds) {
+  // Star on 4 genders: Δ = 3 rounds, each charged its single edge's cost.
+  const auto star = trees::star(4, 0);
+  const std::vector<std::int64_t> iters{10, 20, 30};
+  const auto report = pram::charge(star, iters, pram::Model::erew, 5);
+  EXPECT_EQ(report.matching_rounds, 3);
+  EXPECT_EQ(report.charged_iterations, 60);  // one edge per round
+  EXPECT_EQ(report.sequential_iterations, 60);
+  EXPECT_EQ(report.replication_rounds, 0);
+}
+
+TEST(Pram, ErewOnPathOverlapsRounds) {
+  // Path 0-1-2-3: two rounds {e0, e2}, {e1}; charged = max(10,30) + 20.
+  const auto path = trees::path(4);
+  const std::vector<std::int64_t> iters{10, 20, 30};
+  const auto report = pram::charge(path, iters, pram::Model::erew, 5);
+  EXPECT_EQ(report.matching_rounds, 2);  // Corollary 2
+  EXPECT_EQ(report.charged_iterations, 50);
+  EXPECT_GT(report.model_speedup(), 1.0);
+}
+
+TEST(Pram, CrewSingleRound) {
+  const auto star = trees::star(5, 2);
+  const std::vector<std::int64_t> iters{7, 9, 4, 9};
+  const auto report = pram::charge(star, iters, pram::Model::crew, 3);
+  EXPECT_EQ(report.matching_rounds, 1);
+  EXPECT_EQ(report.charged_iterations, 9);
+  EXPECT_EQ(report.replication_cost, 0);
+}
+
+TEST(Pram, ErewEmulatingCrewAddsReplication) {
+  const auto star = trees::star(5, 2);  // Δ = 4 -> 2 replication rounds
+  const std::vector<std::int64_t> iters{7, 9, 4, 9};
+  const Index n = 3;
+  const auto report =
+      pram::charge(star, iters, pram::Model::erew_emulating_crew, n);
+  EXPECT_EQ(report.replication_rounds, 2);  // ceil(log2 4)
+  EXPECT_EQ(report.replication_cost, 2 * n);
+  EXPECT_EQ(report.matching_rounds, 1);
+  EXPECT_EQ(report.total_cost(), 9 + 2 * n);
+}
+
+TEST(Pram, RejectsMismatchedIterationCounts) {
+  const auto path = trees::path(3);
+  EXPECT_THROW(pram::charge(path, std::vector<std::int64_t>{1},
+                            pram::Model::erew, 2),
+               ContractViolation);
+  EXPECT_THROW(pram::charge(path, std::vector<std::int64_t>{1, -2},
+                            pram::Model::erew, 2),
+               ContractViolation);
+}
+
+TEST(ExecuteBinding, AllModesProduceIdenticalMatchings) {
+  Rng rng(400);
+  const auto inst = gen::uniform(5, 16, rng);
+  const auto tree = prufer::random_tree(5, rng);
+  ThreadPool pool(4);
+  const auto seq = execute_binding(inst, tree, ExecutionMode::sequential, pool);
+  const auto erew = execute_binding(inst, tree, ExecutionMode::erew_rounds, pool);
+  const auto crew = execute_binding(inst, tree, ExecutionMode::crew_full, pool);
+  ASSERT_TRUE(seq.binding.has_matching());
+  EXPECT_EQ(seq.binding.matching(), erew.binding.matching());
+  EXPECT_EQ(seq.binding.matching(), crew.binding.matching());
+  EXPECT_EQ(seq.binding.total_proposals, erew.binding.total_proposals);
+  EXPECT_EQ(seq.binding.total_proposals, crew.binding.total_proposals);
+}
+
+TEST(ExecuteBinding, RoundCountsMatchModels) {
+  Rng rng(401);
+  const auto inst = gen::uniform(6, 8, rng);
+  ThreadPool pool(4);
+
+  const auto path = trees::path(6);
+  const auto path_report =
+      execute_binding(inst, path, ExecutionMode::erew_rounds, pool);
+  EXPECT_EQ(path_report.rounds_executed, 2);  // Corollary 2 / Fig. 4
+
+  const auto star = trees::star(6, 0);
+  const auto star_report =
+      execute_binding(inst, star, ExecutionMode::erew_rounds, pool);
+  EXPECT_EQ(star_report.rounds_executed, 5);  // Δ rounds (Corollary 1)
+
+  const auto crew_report =
+      execute_binding(inst, star, ExecutionMode::crew_full, pool);
+  EXPECT_EQ(crew_report.rounds_executed, 1);
+
+  const auto seq_report =
+      execute_binding(inst, star, ExecutionMode::sequential, pool);
+  EXPECT_EQ(seq_report.rounds_executed, 5);  // one edge at a time
+}
+
+TEST(ExecuteBinding, ChargedCostWithinCorollary1Bound) {
+  Rng rng(402);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Gender k = 6;
+    const Index n = 12;
+    const auto inst = gen::uniform(k, n, rng);
+    const auto tree = prufer::random_tree(k, rng);
+    ThreadPool pool(4);
+    const auto report =
+        execute_binding(inst, tree, ExecutionMode::erew_rounds, pool);
+    // Corollary 1: at most Δ·n² charged iterations under EREW.
+    EXPECT_LE(report.cost.charged_iterations,
+              static_cast<std::int64_t>(tree.max_degree()) * n * n);
+    EXPECT_EQ(report.cost.sequential_iterations,
+              report.binding.total_proposals);
+  }
+}
+
+TEST(ExecuteBinding, ThreadCountDoesNotChangeResult) {
+  Rng rng(403);
+  const auto inst = gen::uniform(4, 10, rng);
+  const auto tree = trees::path(4);
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  const auto a = execute_binding(inst, tree, ExecutionMode::crew_full, pool1);
+  const auto b = execute_binding(inst, tree, ExecutionMode::crew_full, pool8);
+  EXPECT_EQ(a.binding.matching(), b.binding.matching());
+}
+
+TEST(ExecuteBinding, RejectsCyclicStructures) {
+  Rng rng(404);
+  const auto inst = gen::uniform(3, 2, rng);
+  BindingStructure cycle(3);
+  cycle.add_edge({0, 1});
+  cycle.add_edge({1, 2});
+  cycle.add_edge({2, 0});
+  ThreadPool pool(2);
+  EXPECT_THROW(execute_binding(inst, cycle, ExecutionMode::crew_full, pool),
+               ContractViolation);
+}
+
+TEST(ExecuteBinding, ForestExecutesAndAssembles) {
+  Rng rng(405);
+  const auto inst = gen::uniform(5, 4, rng);
+  BindingStructure forest(5);
+  forest.add_edge({0, 1});
+  forest.add_edge({2, 3});
+  ThreadPool pool(2);
+  const auto report =
+      execute_binding(inst, forest, ExecutionMode::erew_rounds, pool);
+  EXPECT_EQ(report.rounds_executed, 1);  // disjoint edges share a round
+  EXPECT_TRUE(report.binding.equivalence.consistent);
+}
+
+}  // namespace
+}  // namespace kstable::core

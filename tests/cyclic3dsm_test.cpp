@@ -1,0 +1,130 @@
+// Tests for the cyclic 3DSM baseline (§I / §V.A prior-work comparator).
+#include <gtest/gtest.h>
+
+#include "core/cyclic3dsm.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::c3d {
+namespace {
+
+KaryMatching identity_matching(Index n) {
+  std::vector<Index> families(static_cast<std::size_t>(n) * 3);
+  for (Index t = 0; t < n; ++t) {
+    for (int g = 0; g < 3; ++g) {
+      families[static_cast<std::size_t>(t) * 3 + static_cast<std::size_t>(g)] = t;
+    }
+  }
+  return KaryMatching(3, n, std::move(families));
+}
+
+/// Instance where everyone cyclically prefers index-mates: identity stable.
+KPartiteInstance identity_first_instance(Index n, Rng& rng) {
+  auto inst = gen::uniform(3, n, rng);
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    // i first, rest in rotational order.
+    for (Index r = 0; r < n; ++r) {
+      order[static_cast<std::size_t>(r)] = static_cast<Index>((i + r) % n);
+    }
+    inst.set_pref_list({kM, i}, kW, order);
+    inst.set_pref_list({kW, i}, kU, order);
+    inst.set_pref_list({kU, i}, kM, order);
+  }
+  return inst;
+}
+
+TEST(Cyclic3d, RequiresTripartiteInstance) {
+  Rng rng(1300);
+  const auto inst = gen::uniform(4, 2, rng);
+  std::vector<Index> families(static_cast<std::size_t>(2) * 4);
+  for (Index t = 0; t < 2; ++t) {
+    for (int g = 0; g < 4; ++g) {
+      families[static_cast<std::size_t>(t) * 4 + static_cast<std::size_t>(g)] = t;
+    }
+  }
+  const KaryMatching matching(4, 2, families);
+  EXPECT_THROW(find_blocking_triple(inst, matching), ContractViolation);
+}
+
+TEST(Cyclic3d, IdentityFirstInstanceIsStable) {
+  Rng rng(1301);
+  const auto inst = identity_first_instance(5, rng);
+  const auto matching = identity_matching(5);
+  EXPECT_FALSE(find_blocking_triple(inst, matching).has_value());
+}
+
+TEST(Cyclic3d, DetectsHandMadeBlockingTriple) {
+  Rng rng(1302);
+  auto inst = identity_first_instance(3, rng);
+  // Make (m0, w1, u2) blocking for the identity matching:
+  // m0 prefers w1 over w0; w1 prefers u2 over u1; u2 prefers m0 over m2.
+  inst.set_pref_list({kM, 0}, kW, std::vector<Index>{1, 0, 2});
+  inst.set_pref_list({kW, 1}, kU, std::vector<Index>{2, 1, 0});
+  inst.set_pref_list({kU, 2}, kM, std::vector<Index>{0, 2, 1});
+  const auto matching = identity_matching(3);
+  EXPECT_TRUE(triple_blocks(inst, matching, 0, 1, 2));
+  const auto witness = find_blocking_triple(inst, matching);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(triple_blocks(inst, matching, witness->m, witness->w, witness->u));
+}
+
+TEST(Cyclic3d, MatchedTripleNeverBlocksItself) {
+  Rng rng(1303);
+  const auto inst = gen::uniform(3, 3, rng);
+  const auto matching = identity_matching(3);
+  for (Index t = 0; t < 3; ++t) {
+    EXPECT_FALSE(triple_blocks(inst, matching, t, t, t));
+  }
+}
+
+TEST(Cyclic3d, ExhaustiveFindsStableMatchingOnSmallRandomInstances) {
+  // Known result: cyclic 3DSM instances of small n always admit a (weakly)
+  // stable matching; the exhaustive solver must find one.
+  Rng rng(1304);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Index n = static_cast<Index>(2 + rng.below(3));  // 2..4
+    const auto inst = gen::uniform(3, n, rng);
+    const auto witness = find_stable_exhaustive(inst);
+    ASSERT_TRUE(witness.has_value()) << "n=" << n << " trial=" << trial;
+    EXPECT_FALSE(find_blocking_triple(inst, *witness).has_value());
+  }
+}
+
+TEST(Cyclic3d, LocalSearchConvergesOnSmallInstances) {
+  Rng rng(1305);
+  int converged = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = gen::uniform(3, 6, rng);
+    const auto result = local_search(inst, 10000);
+    if (result.converged) {
+      ++converged;
+      ASSERT_TRUE(result.matching.has_value());
+      EXPECT_FALSE(find_blocking_triple(inst, *result.matching).has_value());
+    }
+  }
+  EXPECT_GT(converged, 10);  // repair usually converges at this size
+}
+
+TEST(Cyclic3d, LocalSearchRespectsRepairCap) {
+  Rng rng(1306);
+  const auto inst = gen::uniform(3, 8, rng);
+  const auto result = local_search(inst, 0);
+  // With zero repairs allowed it either finds the identity stable or stops.
+  EXPECT_LE(result.repairs, 0 + 1);
+  if (!result.converged) {
+    EXPECT_FALSE(result.matching.has_value());
+  }
+}
+
+TEST(Cyclic3d, RepairStepKeepsMatchingValid) {
+  // Run a handful of repairs and rely on KaryMatching's constructor (inside
+  // local_search) to validate each intermediate family table.
+  Rng rng(1307);
+  const auto inst = gen::uniform(3, 10, rng);
+  EXPECT_NO_THROW(local_search(inst, 50));
+}
+
+}  // namespace
+}  // namespace kstable::c3d

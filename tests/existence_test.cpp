@@ -1,0 +1,143 @@
+// Tests for the Theorem 1 constructions (§III.A): perfect matchings always
+// exist for even node counts; adversarial preferences kill stability for
+// k > 2.
+#include <gtest/gtest.h>
+
+#include "analysis/oracle.hpp"
+#include "core/existence.hpp"
+#include "roommates/solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::core {
+namespace {
+
+TEST(PerfectMatching, EvenKPairsGenders) {
+  const auto m = theorem1_perfect_matching(4, 3);
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.partner({0, i}), (MemberId{1, i}));
+    EXPECT_EQ(m.partner({2, i}), (MemberId{3, i}));
+  }
+}
+
+TEST(PerfectMatching, OddKUsesHalfSplit) {
+  const auto m = theorem1_perfect_matching(3, 4);
+  // First half of gender g pairs with second half of gender g+1 (mod 3).
+  EXPECT_EQ(m.partner({0, 0}), (MemberId{1, 2}));
+  EXPECT_EQ(m.partner({0, 1}), (MemberId{1, 3}));
+  EXPECT_EQ(m.partner({1, 0}), (MemberId{2, 2}));
+  EXPECT_EQ(m.partner({2, 0}), (MemberId{0, 2}));
+  // Construction validated by BinaryMatchingKP (involution, cross-gender).
+}
+
+TEST(PerfectMatching, VariousSizesValidate) {
+  for (const auto& [k, n] : std::vector<std::pair<Gender, Index>>{
+           {2, 1}, {2, 7}, {3, 2}, {3, 8}, {4, 5}, {5, 4}, {6, 3}, {7, 2}}) {
+    EXPECT_NO_THROW(theorem1_perfect_matching(k, n)) << k << 'x' << n;
+  }
+}
+
+TEST(PerfectMatching, RejectsOddNodeCounts) {
+  EXPECT_THROW(theorem1_perfect_matching(3, 3), ContractViolation);
+  EXPECT_THROW(theorem1_perfect_matching(5, 1), ContractViolation);
+}
+
+TEST(Adversarial, RequiresKGreaterThan2) {
+  Rng rng(500);
+  EXPECT_THROW(theorem1_adversarial_roommates(2, 3, rng), ContractViolation);
+}
+
+TEST(Adversarial, StructuralProperties) {
+  Rng rng(501);
+  const Gender k = 4;
+  const Index n = 3;
+  const auto inst = theorem1_adversarial_roommates(k, n, rng, 1);
+  const rm::Person pariah = flat_id({1, 0}, n);
+  for (rm::Person p = 0; p < inst.size(); ++p) {
+    const auto& list = inst.list(p);
+    if (p / n == 1) {
+      // Pariah gender members list the 3 other genders: 9 entries.
+      EXPECT_EQ(list.size(), 9U);
+      continue;
+    }
+    // Everyone else ranks the pariah last.
+    ASSERT_FALSE(list.empty());
+    EXPECT_EQ(list.back(), pariah);
+    // Never lists its own gender.
+    for (const rm::Person q : list) EXPECT_NE(q / n, p / n);
+  }
+}
+
+TEST(Adversarial, CycleTopChoicesAreMutualAcrossGenders) {
+  Rng rng(502);
+  const Gender k = 3;
+  const Index n = 2;
+  const auto inst = theorem1_adversarial_roommates(k, n, rng, 0);
+  // Each non-pariah-gender member's top choice belongs to a different gender
+  // and is itself top-ranked by exactly one member.
+  std::vector<int> top_count(static_cast<std::size_t>(k * n), 0);
+  for (Gender g = 1; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      const rm::Person p = flat_id({g, i}, n);
+      const rm::Person top = inst.list(p).front();
+      EXPECT_NE(top / n, p / n);
+      EXPECT_NE(top / n, 0);  // never the pariah gender... the cycle stays
+                              // within non-pariah genders
+      ++top_count[static_cast<std::size_t>(top)];
+    }
+  }
+  for (Gender g = 1; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      EXPECT_EQ(top_count[static_cast<std::size_t>(flat_id({g, i}, n))], 1);
+    }
+  }
+}
+
+/// Theorem 1 end-to-end: adversarial instances admit perfect matchings but no
+/// stable ones (solver verdict cross-checked against the census).
+TEST(Theorem1, NoStableBinaryMatchingExists) {
+  for (const auto& [k, n] : std::vector<std::pair<Gender, Index>>{
+           {3, 2}, {3, 4}, {4, 2}, {5, 2}, {4, 3}}) {
+    if ((k * n) % 2 != 0) continue;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      Rng rng(seed * 100 + static_cast<std::uint64_t>(k));
+      const auto inst = theorem1_adversarial_roommates(k, n, rng);
+      const auto result = rm::solve(inst);
+      EXPECT_FALSE(result.has_stable)
+          << "k=" << k << " n=" << n << " seed=" << seed;
+      // Perfect matchings exist (limit the census so big cases stay fast).
+      const auto census = analysis::binary_census(inst, 1);
+      EXPECT_GT(census.perfect_matchings, 0);
+    }
+  }
+}
+
+TEST(Theorem1, OracleConfirmsNoStableOnSmallestCase) {
+  Rng rng(503);
+  const auto inst = theorem1_adversarial_roommates(3, 2, rng);
+  const auto census = analysis::binary_census(inst);
+  EXPECT_GT(census.perfect_matchings, 0);
+  EXPECT_EQ(census.stable_matchings, 0);
+}
+
+TEST(Theorem1, BipartiteControlGroupIsAlwaysStable) {
+  // k = 2 control (the theorem's exception): random bipartite instances are
+  // always solvable.
+  Rng rng(504);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::vector<rm::Person>> lists(8);
+    for (rm::Person p = 0; p < 4; ++p) {
+      for (rm::Person q = 4; q < 8; ++q) {
+        lists[static_cast<std::size_t>(p)].push_back(q);
+        lists[static_cast<std::size_t>(q)].push_back(p);
+      }
+      rng.shuffle(lists[static_cast<std::size_t>(p)]);
+    }
+    for (rm::Person q = 4; q < 8; ++q) rng.shuffle(lists[static_cast<std::size_t>(q)]);
+    const rm::RoommatesInstance inst(std::move(lists));
+    EXPECT_TRUE(rm::solve(inst).has_stable);
+  }
+}
+
+}  // namespace
+}  // namespace kstable::core

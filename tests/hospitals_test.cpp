@@ -1,0 +1,105 @@
+// Tests for the hospitals/residents (college admission) extension (§V.A).
+#include <gtest/gtest.h>
+
+#include "gs/hospitals.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::hr {
+namespace {
+
+TEST(HrInstance, ValidationRejectsMalformedInput) {
+  // Incomplete resident prefs.
+  EXPECT_THROW(HrInstance({{0}}, {{0}, {0}}, {1, 1}), ContractViolation);
+  // Duplicate entry.
+  EXPECT_THROW(HrInstance({{0, 0}}, {{0}, {0}}, {1, 1}), ContractViolation);
+  // Negative capacity.
+  EXPECT_THROW(HrInstance({{0}}, {{0}}, {-1}), ContractViolation);
+  // Wrong capacity vector length.
+  EXPECT_THROW(HrInstance({{0}}, {{0}}, {1, 1}), ContractViolation);
+  EXPECT_NO_THROW(HrInstance({{0}}, {{0}}, {1}));
+}
+
+TEST(Hr, OneToOneReducesToSmp) {
+  // 2 residents, 2 hospitals with capacity 1 == Example 1's first instance.
+  const HrInstance inst({{0, 1}, {0, 1}},   // both residents want hospital 0
+                        {{1, 0}, {1, 0}},   // both hospitals prefer resident 1
+                        {1, 1});
+  const auto result = solve_residents_propose(inst);
+  EXPECT_EQ(result.assignment[1], 0);  // preferred resident wins hospital 0
+  EXPECT_EQ(result.assignment[0], 1);
+  EXPECT_TRUE(is_stable(inst, result));
+}
+
+TEST(Hr, CapacityTwoTakesBothResidents) {
+  const HrInstance inst({{0, 1}, {0, 1}}, {{0, 1}, {0, 1}}, {2, 0});
+  const auto result = solve_residents_propose(inst);
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_EQ(result.assignment[1], 0);
+  EXPECT_EQ(result.rosters[0].size(), 2U);
+}
+
+TEST(Hr, ZeroCapacityHospitalIsSkipped) {
+  const HrInstance inst({{0, 1}, {0, 1}}, {{0, 1}, {0, 1}}, {0, 2});
+  const auto result = solve_residents_propose(inst);
+  EXPECT_TRUE(result.rosters[0].empty());
+  EXPECT_EQ(result.rosters[1].size(), 2U);
+  EXPECT_TRUE(is_stable(inst, result));
+}
+
+TEST(Hr, InsufficientCapacityLeavesResidentsUnassigned) {
+  const HrInstance inst({{0}, {0}, {0}}, {{2, 1, 0}}, {2});
+  const auto result = solve_residents_propose(inst);
+  int unassigned = 0;
+  for (const auto h : result.assignment) unassigned += (h < 0);
+  EXPECT_EQ(unassigned, 1);
+  // The hospital keeps its two favourites.
+  EXPECT_EQ(result.assignment[0], -1);
+  EXPECT_TRUE(is_stable(inst, result));
+}
+
+TEST(Hr, RandomSweepStableAndResidentOptimal) {
+  Rng rng(1200);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto n = static_cast<Resident>(4 + rng.below(30));
+    const auto m = static_cast<Hospital>(2 + rng.below(8));
+    const auto inst = random_instance(n, m, 4, rng);
+    const auto result = solve_residents_propose(inst);
+    EXPECT_TRUE(is_stable(inst, result)) << "trial " << trial;
+    // Sufficient capacity => everyone assigned.
+    for (const auto h : result.assignment) EXPECT_GE(h, 0);
+    // Proposals bounded by n*m.
+    EXPECT_LE(result.proposals, static_cast<std::int64_t>(n) * m);
+  }
+}
+
+TEST(Hr, StabilityCheckerCatchesViolations) {
+  const HrInstance inst({{0, 1}, {1, 0}}, {{0, 1}, {1, 0}}, {1, 1});
+  // Everyone gets their first choice and is each hospital's favourite.
+  HrResult good;
+  good.assignment = {0, 1};
+  good.rosters = {{0}, {1}};
+  EXPECT_TRUE(is_stable(inst, good));
+  // Swap the assignment: now (0, hospital 0) is a blocking pair.
+  HrResult bad;
+  bad.assignment = {1, 0};
+  bad.rosters = {{1}, {0}};
+  EXPECT_FALSE(is_stable(inst, bad));
+  // Over-capacity roster is rejected.
+  HrResult overfull;
+  overfull.assignment = {0, 0};
+  overfull.rosters = {{0, 1}, {}};
+  EXPECT_FALSE(is_stable(inst, overfull));
+}
+
+TEST(Hr, RandomInstanceRespectsSufficiencyFlag) {
+  Rng rng(1201);
+  const auto sufficient = random_instance(20, 3, 2, rng, true);
+  EXPECT_GE(sufficient.total_capacity(), 20);
+  // Non-sufficient instances keep their raw random capacities.
+  const auto raw = random_instance(50, 2, 2, rng, false);
+  EXPECT_LE(raw.total_capacity(), 4);
+}
+
+}  // namespace
+}  // namespace kstable::hr

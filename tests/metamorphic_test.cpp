@@ -1,0 +1,140 @@
+// Metamorphic property tests: relabeling invariance.
+//
+// Renaming members within a gender, or renaming genders, must commute with
+// every solver — a strong end-to-end check on index bookkeeping across the
+// whole stack (instance storage, GS, binding, equivalence classes).
+#include <gtest/gtest.h>
+
+#include "core/binding.hpp"
+#include "graph/prufer.hpp"
+#include "gs/gale_shapley.hpp"
+#include "prefs/generators.hpp"
+#include "roommates/adapters.hpp"
+#include "util/rng.hpp"
+
+namespace kstable {
+namespace {
+
+/// Applies a per-gender member relabeling: member (g, i) becomes
+/// (g, perm[g][i]). Preference list contents and owners move accordingly.
+KPartiteInstance relabel_members(const KPartiteInstance& inst,
+                                 const std::vector<std::vector<Index>>& perm) {
+  const Gender k = inst.genders();
+  const Index n = inst.per_gender();
+  KPartiteInstance out(k, n);
+  for (Gender g = 0; g < k; ++g) {
+    for (Index i = 0; i < n; ++i) {
+      for (Gender h = 0; h < k; ++h) {
+        if (h == g) continue;
+        const auto list = inst.pref_list({g, i}, h);
+        std::vector<Index> renamed;
+        renamed.reserve(list.size());
+        for (const Index idx : list) {
+          renamed.push_back(perm[static_cast<std::size_t>(h)]
+                                [static_cast<std::size_t>(idx)]);
+        }
+        out.set_pref_list({g, perm[static_cast<std::size_t>(g)]
+                                  [static_cast<std::size_t>(i)]},
+                          h, renamed);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Metamorphic, GsCommutesWithMemberRelabeling) {
+  Rng rng(1100);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index n = 12;
+    const auto inst = gen::uniform(2, n, rng);
+    std::vector<std::vector<Index>> perm{rng.permutation(n),
+                                         rng.permutation(n)};
+    const auto renamed = relabel_members(inst, perm);
+
+    const auto base = gs::gale_shapley_queue(inst, 0, 1);
+    const auto mapped = gs::gale_shapley_queue(renamed, 0, 1);
+    // perm must commute: renamed proposer perm[0][p] matches perm[1][base_p].
+    for (Index p = 0; p < n; ++p) {
+      const Index p2 = perm[0][static_cast<std::size_t>(p)];
+      const Index expected =
+          perm[1][static_cast<std::size_t>(
+              base.proposer_match[static_cast<std::size_t>(p)])];
+      EXPECT_EQ(mapped.proposer_match[static_cast<std::size_t>(p2)], expected)
+          << "trial " << trial;
+    }
+    // Proposal counts are relabeling-invariant.
+    EXPECT_EQ(base.proposals, mapped.proposals);
+  }
+}
+
+TEST(Metamorphic, BindingCommutesWithMemberRelabeling) {
+  Rng rng(1101);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Gender k = 4;
+    const Index n = 6;
+    const auto inst = gen::uniform(k, n, rng);
+    std::vector<std::vector<Index>> perm;
+    for (Gender g = 0; g < k; ++g) perm.push_back(rng.permutation(n));
+    const auto renamed = relabel_members(inst, perm);
+    const auto tree = prufer::random_tree(k, rng);
+
+    const auto base = core::iterative_binding(inst, tree);
+    const auto mapped = core::iterative_binding(renamed, tree);
+    EXPECT_EQ(base.total_proposals, mapped.total_proposals);
+
+    // Families commute: the family of renamed member (g, perm[g][i]) contains
+    // exactly the renamed members of (g, i)'s original family.
+    const auto& bm = base.matching();
+    const auto& mm = mapped.matching();
+    for (Index i = 0; i < n; ++i) {
+      const Index base_family = bm.family_of({0, i});
+      const Index mapped_family =
+          mm.family_of({0, perm[0][static_cast<std::size_t>(i)]});
+      for (Gender g = 1; g < k; ++g) {
+        const Index base_member = bm.member_at(base_family, g).index;
+        EXPECT_EQ(mm.member_at(mapped_family, g).index,
+                  perm[static_cast<std::size_t>(g)]
+                      [static_cast<std::size_t>(base_member)])
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, RoommatesVerdictInvariantUnderRelabeling) {
+  Rng rng(1102);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = gen::uniform(3, 4, rng);
+    std::vector<std::vector<Index>> perm;
+    for (Gender g = 0; g < 3; ++g) perm.push_back(rng.permutation(4));
+    const auto renamed = relabel_members(inst, perm);
+    const bool base =
+        rm::solve_kpartite_binary(inst, rm::Linearization::gender_blocks)
+            .has_stable;
+    const bool mapped =
+        rm::solve_kpartite_binary(renamed, rm::Linearization::gender_blocks)
+            .has_stable;
+    EXPECT_EQ(base, mapped) << "trial " << trial;
+  }
+}
+
+TEST(Metamorphic, BindingProposalsInvariantUnderTreeEdgeOrder) {
+  // Edges commute (DESIGN decision 2): permuting edge insertion order must
+  // not change the assembled matching.
+  Rng rng(1103);
+  const auto inst = gen::uniform(5, 8, rng);
+  const auto tree = prufer::random_tree(5, rng);
+  const auto base = core::iterative_binding(inst, tree);
+  for (int shuffle_trial = 0; shuffle_trial < 5; ++shuffle_trial) {
+    auto edges = tree.edges();
+    rng.shuffle(edges);
+    BindingStructure reordered(5);
+    for (const auto& e : edges) reordered.add_edge(e);
+    const auto result = core::iterative_binding(inst, reordered);
+    EXPECT_EQ(result.matching(), base.matching());
+    EXPECT_EQ(result.total_proposals, base.total_proposals);
+  }
+}
+
+}  // namespace
+}  // namespace kstable

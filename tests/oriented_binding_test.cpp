@@ -1,0 +1,103 @@
+// Tests for orientation-aware binding (fairness across genders in families).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/metrics.hpp"
+#include "analysis/stability.hpp"
+#include "core/oriented_binding.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::core {
+namespace {
+
+TEST(OrientedBinding, AsGivenMatchesPlainBinding) {
+  Rng rng(2200);
+  const auto inst = gen::uniform(4, 8, rng);
+  const auto tree = trees::path(4);
+  const auto plain = iterative_binding(inst, tree);
+  const auto oriented =
+      oriented_binding(inst, tree, OrientationPolicy::as_given);
+  EXPECT_EQ(oriented.binding.matching(), plain.matching());
+  EXPECT_EQ(oriented.binding.total_proposals, plain.total_proposals);
+}
+
+TEST(OrientedBinding, AlternateFlipsEveryOtherEdge) {
+  Rng rng(2201);
+  const auto inst = gen::uniform(5, 4, rng);
+  const auto tree = trees::path(5);
+  const auto result =
+      oriented_binding(inst, tree, OrientationPolicy::alternate);
+  const auto& edges = result.oriented.edges();
+  ASSERT_EQ(edges.size(), 4U);
+  EXPECT_EQ(edges[0].a, 0);  // kept
+  EXPECT_EQ(edges[1].a, 2);  // flipped: (2 proposes to 1)
+  EXPECT_EQ(edges[2].a, 2);  // kept: (2, 3)
+  EXPECT_EQ(edges[3].a, 4);  // flipped
+}
+
+TEST(OrientedBinding, AllPoliciesProduceStableMatchings) {
+  Rng rng(2202);
+  for (const auto policy :
+       {OrientationPolicy::as_given, OrientationPolicy::alternate,
+        OrientationPolicy::balance_greedy}) {
+    const auto inst = gen::uniform(4, 4, rng);
+    const auto tree = trees::path(4);
+    const auto result = oriented_binding(inst, tree, policy);
+    ASSERT_TRUE(result.binding.has_matching());
+    EXPECT_FALSE(analysis::find_blocking_family(inst, result.binding.matching())
+                     .has_value());
+  }
+}
+
+TEST(OrientedBinding, GenderCostAccountingIsComplete) {
+  Rng rng(2203);
+  const auto inst = gen::uniform(4, 8, rng);
+  const auto result = oriented_binding(inst, trees::star(4, 1),
+                                       OrientationPolicy::as_given);
+  // Sum of per-gender costs equals twice... no: equals the total bound-pair
+  // cost (each edge contributes both directions exactly once).
+  std::int64_t sum = 0;
+  for (const auto c : result.gender_cost) sum += c;
+  const auto tree_costs = analysis::kary_tree_costs(
+      inst, result.binding.matching(), result.oriented);
+  EXPECT_EQ(sum, tree_costs.total_cost);
+}
+
+TEST(OrientedBinding, BalanceGreedyReducesCostSpread) {
+  // Across seeds, the balancing policy should not have a larger average
+  // max-min per-gender cost spread than the fixed orientation.
+  Rng rng(2204);
+  std::int64_t fixed_spread = 0;
+  std::int64_t balanced_spread = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto inst = gen::uniform(5, 32, rng);
+    const auto tree = trees::path(5);
+    const auto fixed =
+        oriented_binding(inst, tree, OrientationPolicy::as_given);
+    const auto balanced =
+        oriented_binding(inst, tree, OrientationPolicy::balance_greedy);
+    auto spread = [](const std::vector<std::int64_t>& costs) {
+      const auto [lo, hi] = std::minmax_element(costs.begin(), costs.end());
+      return *hi - *lo;
+    };
+    fixed_spread += spread(fixed.gender_cost);
+    balanced_spread += spread(balanced.gender_cost);
+  }
+  EXPECT_LE(balanced_spread, fixed_spread);
+}
+
+TEST(OrientedBinding, RequiresSpanningTree) {
+  Rng rng(2205);
+  const auto inst = gen::uniform(3, 2, rng);
+  BindingStructure forest(3);
+  forest.add_edge({0, 1});
+  EXPECT_THROW(
+      oriented_binding(inst, forest, OrientationPolicy::as_given),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace kstable::core

@@ -1,0 +1,175 @@
+// Tests for quorum-based blocking families (the §VII future-work model).
+#include <gtest/gtest.h>
+
+#include "analysis/oracle.hpp"
+#include "analysis/quorum.hpp"
+#include "core/binding.hpp"
+#include "prefs/examples.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::analysis {
+namespace {
+
+KaryMatching identity_matching(Gender k, Index n) {
+  std::vector<Index> families(static_cast<std::size_t>(k) *
+                              static_cast<std::size_t>(n));
+  for (Index t = 0; t < n; ++t) {
+    for (Gender g = 0; g < k; ++g) {
+      families[static_cast<std::size_t>(t) * static_cast<std::size_t>(k) +
+               static_cast<std::size_t>(g)] = t;
+    }
+  }
+  return KaryMatching(k, n, std::move(families));
+}
+
+TEST(Quorum, RejectsInvalidQuorumValues) {
+  const auto inst = kstable::examples::fig3_instance();
+  const auto matching = identity_matching(3, 2);
+  EXPECT_THROW(tuple_blocks_quorum(inst, matching, {0, 1, 1}, 0.0),
+               ContractViolation);
+  EXPECT_THROW(tuple_blocks_quorum(inst, matching, {0, 1, 1}, 1.5),
+               ContractViolation);
+}
+
+TEST(Quorum, FullQuorumEqualsStrictCondition) {
+  // q = 1 is exactly the §IV.A strict blocking condition: cross-check the
+  // two checkers on random small instances over every tuple.
+  Rng rng(700);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto inst = gen::uniform(3, 3, rng);
+    const auto matching = identity_matching(3, 3);
+    std::vector<Index> members(3);
+    for (Index a = 0; a < 3; ++a) {
+      for (Index b = 0; b < 3; ++b) {
+        for (Index c = 0; c < 3; ++c) {
+          members = {a, b, c};
+          EXPECT_EQ(
+              tuple_blocks_quorum(inst, matching, members, 1.0),
+              tuple_blocks(inst, matching, members, BlockingMode::strict))
+              << "tuple (" << a << ',' << b << ',' << c << ") trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(Quorum, BlockingIsAntitoneInQuorum) {
+  // If a tuple blocks at quorum q, it blocks at any q' <= q.
+  Rng rng(701);
+  const std::vector<double> quorums{0.25, 0.5, 0.75, 1.0};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = gen::uniform(4, 3, rng);
+    const auto matching = identity_matching(4, 3);
+    std::vector<Index> members(4);
+    for (int probe = 0; probe < 50; ++probe) {
+      for (Gender g = 0; g < 4; ++g) {
+        members[static_cast<std::size_t>(g)] =
+            static_cast<Index>(rng.below(3));
+      }
+      // Blocking at a higher quorum implies blocking at every lower one.
+      for (std::size_t hi = 1; hi < quorums.size(); ++hi) {
+        if (tuple_blocks_quorum(inst, matching, members, quorums[hi])) {
+          EXPECT_TRUE(
+              tuple_blocks_quorum(inst, matching, members, quorums[hi - 1]));
+        }
+      }
+    }
+  }
+}
+
+TEST(Quorum, ExistingFamilyNeverBlocks) {
+  const auto inst = kstable::examples::fig3_instance();
+  const auto matching = identity_matching(3, 2);
+  EXPECT_FALSE(tuple_blocks_quorum(inst, matching, {0, 0, 0}, 0.1));
+  EXPECT_FALSE(tuple_blocks_quorum(inst, matching, {1, 1, 1}, 0.1));
+}
+
+TEST(Quorum, SearchAgreesWithStrictSearchAtFullQuorum) {
+  Rng rng(702);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = gen::uniform(3, 3, rng);
+    const auto matching = identity_matching(3, 3);
+    const bool strict = find_blocking_family(inst, matching).has_value();
+    const bool quorum =
+        find_quorum_blocking_family(inst, matching, 1.0).has_value();
+    EXPECT_EQ(strict, quorum) << "trial " << trial;
+  }
+}
+
+TEST(Quorum, LowQuorumIsWeakerThanLeadCondition) {
+  // Any-representative (low q) blocking is implied by weakened (lead)
+  // blocking: if all leads agree then each group has >= 1 agreeing member.
+  Rng rng(703);
+  const std::vector<std::int32_t> priority{0, 1, 2};
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto inst = gen::uniform(3, 3, rng);
+    const auto matching = identity_matching(3, 3);
+    const bool weakened =
+        find_weakened_blocking_family(inst, matching, priority).has_value();
+    const bool low_quorum =
+        find_quorum_blocking_family(inst, matching, 0.01).has_value();
+    EXPECT_TRUE(!weakened || low_quorum)
+        << "lead-blocked but not representative-blocked, trial " << trial;
+  }
+}
+
+TEST(Quorum, Theorem2MatchingStableAtFullQuorumOnly) {
+  // Algorithm 1 guarantees q=1 stability; at low quorums the same matching
+  // can be blocked (blocking is easier) — verify both directions appear
+  // across seeds.
+  Rng rng(704);
+  int low_blocked = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = gen::uniform(3, 4, rng);
+    const auto result = core::iterative_binding(inst, trees::path(3));
+    EXPECT_FALSE(
+        find_quorum_blocking_family(inst, result.matching(), 1.0).has_value());
+    low_blocked +=
+        find_quorum_blocking_family(inst, result.matching(), 0.01).has_value();
+  }
+  EXPECT_GT(low_blocked, 0) << "low quorums should block some bindings";
+}
+
+TEST(Quorum, CensusIsMonotoneInQuorum) {
+  Rng rng(705);
+  const auto inst = gen::uniform(3, 3, rng);
+  const std::vector<double> quorums{0.2, 0.5, 1.0};
+  const auto stable = quorum_stable_census(inst, quorums);
+  ASSERT_EQ(stable.size(), 3U);
+  EXPECT_LE(stable[0], stable[1]);
+  EXPECT_LE(stable[1], stable[2]);
+  // q = 1 census must match the strict oracle.
+  const auto census = kary_census(inst);
+  EXPECT_EQ(stable[2], census.stable_matchings);
+}
+
+TEST(Quorum, SampledProbeFindsKnownWitness) {
+  // Build the §II.C blocking example; the sampled probe must find it fast.
+  KPartiteInstance inst(3, 2);
+  auto set2 = [&inst](MemberId m, Gender g, Index top) {
+    inst.set_pref_list(m, g, top == 0 ? std::vector<Index>{0, 1}
+                                      : std::vector<Index>{1, 0});
+  };
+  set2({0, 0}, 1, 1);
+  set2({0, 0}, 2, 1);
+  set2({1, 1}, 0, 0);
+  set2({2, 1}, 0, 0);
+  set2({0, 1}, 1, 0);
+  set2({0, 1}, 2, 0);
+  set2({1, 0}, 0, 0);
+  set2({1, 0}, 2, 0);
+  set2({1, 1}, 2, 0);
+  set2({2, 0}, 0, 0);
+  set2({2, 0}, 1, 0);
+  set2({2, 1}, 1, 0);
+  inst.validate();
+  const auto matching = identity_matching(3, 2);
+  Rng rng(706);
+  EXPECT_TRUE(find_quorum_blocking_family_sampled(inst, matching, 1.0, rng, 500)
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace kstable::analysis

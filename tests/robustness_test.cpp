@@ -1,0 +1,168 @@
+// Robustness & failure-injection tests across the stack: serialized-input
+// fuzzing (mutated instances must load equal or throw — never crash or load
+// garbage), contract enforcement at module boundaries, and concurrency
+// stress for the thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <string>
+
+#include "analysis/stability.hpp"
+#include "core/parallel_binding.hpp"
+#include "parallel/thread_pool.hpp"
+#include "prefs/generators.hpp"
+#include "prefs/io.hpp"
+#include "roommates/examples.hpp"
+#include "roommates/io.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable {
+namespace {
+
+/// Applies `count` random single-character mutations to `text`.
+std::string mutate(std::string text, Rng& rng, int count) {
+  static constexpr char kAlphabet[] = "0123456789 \n:abcprefg-";
+  for (int i = 0; i < count && !text.empty(); ++i) {
+    const auto pos = static_cast<std::size_t>(rng.below(text.size()));
+    switch (rng.below(3)) {
+      case 0:  // replace
+        text[pos] = kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+        break;
+      case 1:  // delete
+        text.erase(pos, 1);
+        break;
+      default:  // insert
+        text.insert(pos, 1, kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+        break;
+    }
+  }
+  return text;
+}
+
+TEST(Fuzz, MutatedKPartiteInstancesLoadValidOrThrow) {
+  Rng rng(2000);
+  const auto inst = gen::uniform(3, 4, rng);
+  const auto text = io::to_string(inst);
+  int threw = 0;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto mutated = mutate(text, rng, 1 + static_cast<int>(rng.below(4)));
+    try {
+      const auto loaded = io::from_string(mutated);
+      // If it loads, it must be a fully valid instance.
+      EXPECT_NO_THROW(loaded.validate());
+    } catch (const ContractViolation&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, trials / 2) << "mutations should usually be rejected";
+}
+
+TEST(Fuzz, MutatedRoommatesInstancesLoadValidOrThrow) {
+  const auto inst = rm::examples::sec3b_left();
+  const auto text = rm::io::to_string(inst);
+  Rng rng(2001);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto mutated = mutate(text, rng, 1 + static_cast<int>(rng.below(4)));
+    try {
+      const auto loaded = rm::io::from_string(mutated);
+      // Symmetry is re-validated by the constructor; nothing else to check
+      // beyond not crashing.
+      EXPECT_GE(loaded.size(), 1);
+    } catch (const ContractViolation&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST(Contracts, BindingRejectsMismatchedInstanceAndStructure) {
+  Rng rng(2002);
+  const auto inst = gen::uniform(3, 2, rng);
+  const BindingStructure wrong_k(4);
+  EXPECT_THROW(core::bind_structure(inst, wrong_k), ContractViolation);
+}
+
+TEST(Contracts, StabilityCheckersRejectDimensionMismatches) {
+  Rng rng(2003);
+  const auto inst = gen::uniform(3, 2, rng);
+  const KaryMatching matching(3, 2, {0, 0, 0, 1, 1, 1});
+  EXPECT_THROW(
+      analysis::tuple_blocks(inst, matching, {0, 0},
+                             analysis::BlockingMode::strict),
+      ContractViolation);
+  // Matching from a different-sized instance.
+  const auto big = gen::uniform(3, 3, rng);
+  const KaryMatching big_matching(3, 3, {0, 0, 0, 1, 1, 1, 2, 2, 2});
+  EXPECT_THROW(analysis::find_blocking_family(inst, big_matching),
+               ContractViolation);
+}
+
+TEST(ThreadPool, StressManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  constexpr int kTasks = 20000;
+  pool.for_each_index(kTasks, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<std::int64_t>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, NestedSubmissionsDoNotDeadlock) {
+  // Tasks submitting further tasks must not deadlock the pool (they only
+  // enqueue; the barrier helper is not used re-entrantly).
+  ThreadPool pool(2);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(8);
+  std::vector<std::future<void>> inner_futures(8);
+  std::mutex m;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&, i] {
+      ++outer;
+      std::scoped_lock lock(m);
+      inner_futures[static_cast<std::size_t>(i)] =
+          pool.submit([&inner] { ++inner; });
+    }));
+  }
+  for (auto& f : futures) f.get();
+  for (auto& f : inner_futures) f.get();
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8);
+}
+
+TEST(ThreadPool, ManyConcurrentBindingsShareOnePool) {
+  Rng rng(2004);
+  const auto inst = gen::uniform(4, 16, rng);
+  ThreadPool pool(4);
+  // Launch several CREW bindings back to back; all must agree.
+  const auto reference =
+      core::execute_binding(inst, trees::path(4),
+                            core::ExecutionMode::crew_full, pool);
+  for (int i = 0; i < 10; ++i) {
+    const auto repeat = core::execute_binding(
+        inst, trees::path(4), core::ExecutionMode::crew_full, pool);
+    EXPECT_EQ(repeat.binding.matching(), reference.binding.matching());
+  }
+}
+
+TEST(Rng, StreamsSurviveHeavyForking) {
+  Rng root(2005);
+  // 64 forked generators must all be distinct streams.
+  std::vector<std::uint64_t> first_draws;
+  for (int i = 0; i < 64; ++i) {
+    Rng child = root.fork();
+    first_draws.push_back(child());
+  }
+  std::sort(first_draws.begin(), first_draws.end());
+  EXPECT_EQ(std::unique(first_draws.begin(), first_draws.end()) -
+                first_draws.begin(),
+            64);
+}
+
+}  // namespace
+}  // namespace kstable

@@ -1,0 +1,183 @@
+// Tests for k-ary matching in k'-partite graphs via super-gender coalitions
+// (the paper's §VII future-work direction).
+#include <gtest/gtest.h>
+
+#include "analysis/stability.hpp"
+#include "core/supergender.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::core {
+namespace {
+
+TEST(Partition, ContiguousConstruction) {
+  const auto p = SupergenderPartition::contiguous(6, 2);
+  ASSERT_EQ(p.groups.size(), 3U);
+  EXPECT_EQ(p.groups[0], (std::vector<Gender>{0, 1}));
+  EXPECT_EQ(p.groups[2], (std::vector<Gender>{4, 5}));
+  EXPECT_NO_THROW(p.validate(6));
+  EXPECT_THROW(SupergenderPartition::contiguous(6, 4), ContractViolation);
+}
+
+TEST(Partition, ValidationRejectsBadPartitions) {
+  SupergenderPartition uneven;
+  uneven.groups = {{0, 1}, {2}};
+  EXPECT_THROW(uneven.validate(3), ContractViolation);
+
+  SupergenderPartition overlapping;
+  overlapping.groups = {{0, 1}, {1, 2}};
+  EXPECT_THROW(overlapping.validate(4), ContractViolation);
+
+  SupergenderPartition incomplete;
+  incomplete.groups = {{0}, {1}};
+  EXPECT_THROW(incomplete.validate(3), ContractViolation);
+
+  SupergenderPartition single;
+  single.groups = {{0, 1, 2}};
+  EXPECT_THROW(single.validate(3), ContractViolation);
+}
+
+TEST(Supergender, MemberMappingRoundTrips) {
+  Rng rng(800);
+  const auto inst = gen::uniform(6, 4, rng);
+  const auto partition = SupergenderPartition::contiguous(6, 3);
+  const auto system = derive_supergender_system(
+      inst, partition, rm::Linearization::round_robin);
+  EXPECT_EQ(system.derived.genders(), 2);
+  EXPECT_EQ(system.derived.per_gender(), 12);  // n * c = 4 * 3
+  for (Gender g = 0; g < 6; ++g) {
+    for (Index i = 0; i < 4; ++i) {
+      const MemberId original{g, i};
+      const MemberId derived = system.derived_id(original);
+      EXPECT_EQ(system.original(derived), original);
+    }
+  }
+}
+
+TEST(Supergender, DerivedListsPreservePerGenderOrder) {
+  Rng rng(801);
+  const auto inst = gen::uniform(4, 3, rng);
+  const auto partition = SupergenderPartition::contiguous(4, 2);
+  for (const auto lin : {rm::Linearization::round_robin,
+                         rm::Linearization::gender_blocks,
+                         rm::Linearization::random_interleave}) {
+    const auto system = derive_supergender_system(inst, partition, lin, &rng);
+    // For every derived member and target super-gender, the relative order of
+    // same-original-gender entries must match the original preference list.
+    for (Gender G = 0; G < 2; ++G) {
+      for (Index j = 0; j < 6; ++j) {
+        const MemberId self = system.original({G, j});
+        const Gender H = 1 - G;
+        std::vector<std::vector<Index>> seen(4);
+        for (const Index d : system.derived.pref_list({G, j}, H)) {
+          const MemberId target = system.original({H, d});
+          seen[static_cast<std::size_t>(target.gender)].push_back(target.index);
+        }
+        for (const Gender h : partition.groups[static_cast<std::size_t>(H)]) {
+          const auto expected = inst.pref_list(self, h);
+          ASSERT_EQ(seen[static_cast<std::size_t>(h)].size(), expected.size());
+          EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                                 seen[static_cast<std::size_t>(h)].begin()));
+        }
+      }
+    }
+  }
+}
+
+TEST(Supergender, SingletonGroupsReproduceOriginalInstance) {
+  // c = 1: the derived instance is the original one (identity partition).
+  Rng rng(802);
+  const auto inst = gen::uniform(3, 4, rng);
+  const auto partition = SupergenderPartition::contiguous(3, 1);
+  const auto system = derive_supergender_system(
+      inst, partition, rm::Linearization::round_robin);
+  EXPECT_EQ(system.derived, inst);
+}
+
+TEST(Supergender, RandomInterleaveNeedsRng) {
+  Rng rng(803);
+  const auto inst = gen::uniform(4, 2, rng);
+  const auto partition = SupergenderPartition::contiguous(4, 2);
+  EXPECT_THROW(derive_supergender_system(
+                   inst, partition, rm::Linearization::random_interleave),
+               ContractViolation);
+}
+
+TEST(Coalition, SatisfiesPaperSizeConstraint) {
+  // k' = 6 genders, groups of c = 2 -> k = 3 super-genders, n*c = 8
+  // coalitions of k = 3 members: ck = nk' members total.
+  Rng rng(804);
+  const Index n = 4;
+  const auto inst = gen::uniform(6, n, rng);
+  const auto result = coalition_binding(
+      inst, SupergenderPartition::contiguous(6, 2),
+      rm::Linearization::round_robin);
+  EXPECT_EQ(result.coalitions.size(), 8U);  // n * c
+  for (const auto& coalition : result.coalitions) {
+    EXPECT_EQ(coalition.members.size(), 3U);  // k
+  }
+  // Every original member appears in exactly one coalition.
+  std::vector<int> uses(6 * static_cast<std::size_t>(n), 0);
+  for (const auto& coalition : result.coalitions) {
+    for (const MemberId m : coalition.members) {
+      ++uses[static_cast<std::size_t>(flat_id(m, n))];
+    }
+  }
+  for (const int u : uses) EXPECT_EQ(u, 1);
+}
+
+TEST(Coalition, EachCoalitionDrawsOneMemberPerSupergender) {
+  Rng rng(805);
+  const auto inst = gen::uniform(4, 3, rng);
+  const auto partition = SupergenderPartition::contiguous(4, 2);
+  const auto result =
+      coalition_binding(inst, partition, rm::Linearization::gender_blocks);
+  for (const auto& coalition : result.coalitions) {
+    // members[G] must belong to a gender of group G.
+    for (std::size_t G = 0; G < 2; ++G) {
+      const auto& group = partition.groups[G];
+      EXPECT_NE(std::find(group.begin(), group.end(),
+                          coalition.members[G].gender),
+                group.end());
+    }
+  }
+}
+
+TEST(Coalition, StableOnDerivedInstance) {
+  // Theorem 2 applies to the derived instance: no blocking family w.r.t. the
+  // linearized preferences.
+  Rng rng(806);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = gen::uniform(4, 3, rng);
+    const auto result = coalition_binding(
+        inst, SupergenderPartition::contiguous(4, 2),
+        rm::Linearization::round_robin);
+    EXPECT_FALSE(analysis::find_blocking_family(result.system.derived,
+                                                result.binding.matching())
+                     .has_value())
+        << "trial " << trial;
+  }
+}
+
+TEST(Coalition, LinearizationChangesOutcomes) {
+  // Different linearizations generally give different coalition sets (the
+  // footnote-4 freedom); check they at least sometimes differ.
+  Rng rng(807);
+  bool any_difference = false;
+  for (int trial = 0; trial < 10 && !any_difference; ++trial) {
+    const auto inst = gen::uniform(4, 4, rng);
+    const auto a = coalition_binding(inst,
+                                     SupergenderPartition::contiguous(4, 2),
+                                     rm::Linearization::round_robin);
+    const auto b = coalition_binding(inst,
+                                     SupergenderPartition::contiguous(4, 2),
+                                     rm::Linearization::gender_blocks);
+    any_difference =
+        !(a.binding.matching() == b.binding.matching());
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace kstable::core

@@ -1,0 +1,140 @@
+// Broad parameterized sweeps tying the whole stack together: every generator
+// family x every tree shape must produce verified-stable k-ary matchings, and
+// every gender-priority permutation must keep Algorithm 2's guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "analysis/stability.hpp"
+#include "core/priority_binding.hpp"
+#include "core/supergender.hpp"
+#include "graph/prufer.hpp"
+#include "graph/scheduling.hpp"
+#include "prefs/generators.hpp"
+#include "util/rng.hpp"
+
+namespace kstable {
+namespace {
+
+enum class Family { uniform, master, popularity, euclidean, tiered };
+enum class Shape { path, star, random_tree };
+
+KPartiteInstance make_instance(Family family, Gender k, Index n, Rng& rng) {
+  switch (family) {
+    case Family::uniform:
+      return gen::uniform(k, n, rng);
+    case Family::master:
+      return gen::master_list(k, n, rng);
+    case Family::popularity:
+      return gen::popularity(k, n, rng, 0.4);
+    case Family::euclidean:
+      return gen::euclidean(k, n, 2, rng);
+    case Family::tiered:
+      return gen::tiered(k, n, std::min<Index>(3, n), rng);
+  }
+  return gen::uniform(k, n, rng);
+}
+
+BindingStructure make_tree(Shape shape, Gender k, Rng& rng) {
+  switch (shape) {
+    case Shape::path:
+      return trees::path(k);
+    case Shape::star:
+      return trees::star(k, k / 2);
+    case Shape::random_tree:
+      return prufer::random_tree(k, rng);
+  }
+  return trees::path(k);
+}
+
+class GeneratorTreeSweep
+    : public ::testing::TestWithParam<std::tuple<Family, Shape>> {};
+
+TEST_P(GeneratorTreeSweep, BindingIsStableAcrossTheGrid) {
+  const auto [family, shape] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(static_cast<int>(family)) * 31 +
+          static_cast<std::uint64_t>(static_cast<int>(shape)) + 5000);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Gender k = static_cast<Gender>(3 + rng.below(3));   // 3..5
+    const Index n = static_cast<Index>(2 + rng.below(4));     // 2..5
+    const auto inst = make_instance(family, k, n, rng);
+    const auto tree = make_tree(shape, k, rng);
+    const auto result = core::iterative_binding(inst, tree);
+    // Exact stability check at these sizes.
+    EXPECT_FALSE(
+        analysis::find_blocking_family(inst, result.matching()).has_value())
+        << "family=" << static_cast<int>(family)
+        << " shape=" << static_cast<int>(shape) << " k=" << k << " n=" << n;
+    // Theorem 3 bound.
+    EXPECT_LE(result.total_proposals, static_cast<std::int64_t>(k - 1) * n * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorTreeSweep,
+    ::testing::Combine(::testing::Values(Family::uniform, Family::master,
+                                         Family::popularity, Family::euclidean,
+                                         Family::tiered),
+                       ::testing::Values(Shape::path, Shape::star,
+                                         Shape::random_tree)));
+
+/// Every priority permutation of k = 4 genders: Algorithm 2's default tree is
+/// the star at imax, is bitonic under that priority, and admits no weakened
+/// blocking family.
+class PriorityPermutationSweep
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(PriorityPermutationSweep, Algorithm2HoldsForEveryPriorityOrder) {
+  // Decode the permutation index (0..23) into a priority vector.
+  std::vector<std::int32_t> priority{0, 1, 2, 3};
+  for (int step = 0; step < GetParam(); ++step) {
+    std::next_permutation(priority.begin(), priority.end());
+  }
+  Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+  const auto inst = gen::uniform(4, 3, rng);
+  core::PriorityBindingOptions options;
+  options.priority = priority;
+  const auto result = core::priority_binding(inst, options);
+  // The tree is rooted at the argmax of the priority vector.
+  const auto imax = static_cast<Gender>(
+      std::max_element(priority.begin(), priority.end()) - priority.begin());
+  EXPECT_EQ(result.tree.degree(imax), 3);
+  EXPECT_TRUE(sched::is_bitonic_tree(result.tree, priority));
+  EXPECT_FALSE(analysis::find_weakened_blocking_family(
+                   inst, result.binding.matching(), priority)
+                   .has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, PriorityPermutationSweep,
+                         ::testing::Range(0, 24));
+
+/// Super-gender partitions of k' = 6 into c = 1, 2, 3: coalition binding
+/// always satisfies ck = nk' and derived-instance stability.
+class PartitionSweep : public ::testing::TestWithParam<Gender> {};
+
+TEST_P(PartitionSweep, CoalitionsSatisfyInvariantForEveryGroupSize) {
+  const Gender c = GetParam();
+  Rng rng(7000 + static_cast<std::uint64_t>(c));
+  const Index n = 3;
+  const auto inst = gen::uniform(6, n, rng);
+  const auto result = core::coalition_binding(
+      inst, core::SupergenderPartition::contiguous(6, c),
+      rm::Linearization::round_robin);
+  const auto k = static_cast<Gender>(6 / c);
+  EXPECT_EQ(static_cast<Index>(result.coalitions.size()), n * c);  // ck = nk'
+  for (const auto& coalition : result.coalitions) {
+    EXPECT_EQ(static_cast<Gender>(coalition.members.size()), k);
+  }
+  EXPECT_FALSE(analysis::find_blocking_family_pairs(
+                   result.system.derived, result.binding.matching(),
+                   analysis::BlockingMode::strict)
+                   .has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, PartitionSweep,
+                         ::testing::Values(Gender{1}, Gender{2}, Gender{3}));
+
+}  // namespace
+}  // namespace kstable

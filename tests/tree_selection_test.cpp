@@ -1,0 +1,130 @@
+// Tests for cost-aware binding-tree selection (§IV.B ablation) and the
+// extra preference generators (euclidean / tiered) and DOT emitters.
+#include <gtest/gtest.h>
+
+#include "analysis/dot.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/stability.hpp"
+#include "core/tree_selection.hpp"
+#include "prefs/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::core {
+namespace {
+
+TEST(PairProbe, CoversAllUnorderedPairs) {
+  Rng rng(1400);
+  const auto inst = gen::uniform(5, 6, rng);
+  const auto probes = probe_all_pairs(inst);
+  EXPECT_EQ(probes.size(), 10U);  // C(5, 2)
+  for (const auto& probe : probes) {
+    EXPECT_LT(probe.edge.a, probe.edge.b);
+    EXPECT_GE(probe.cost, 0);
+    EXPECT_GE(probe.proposals, 6);
+  }
+}
+
+TEST(TreeSelection, ProducesSpanningTrees) {
+  Rng rng(1401);
+  const auto inst = gen::uniform(6, 8, rng);
+  const auto min_tree = select_tree(inst, TreeObjective::min_cost);
+  const auto max_tree = select_tree(inst, TreeObjective::max_cost);
+  EXPECT_TRUE(min_tree.is_spanning_tree());
+  EXPECT_TRUE(max_tree.is_spanning_tree());
+}
+
+TEST(TreeSelection, MinTreeBeatsMaxTreeOnBoundPairCost) {
+  Rng rng(1402);
+  int min_wins = 0;
+  const int trials = 12;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto inst = gen::popularity(5, 16, rng, 0.5);
+    const auto min_result = cost_aware_binding(inst, TreeObjective::min_cost);
+    const auto max_result = cost_aware_binding(inst, TreeObjective::max_cost);
+    const auto min_tree = select_tree(inst, TreeObjective::min_cost);
+    const auto max_tree = select_tree(inst, TreeObjective::max_cost);
+    const auto min_cost =
+        analysis::kary_tree_costs(inst, min_result.matching(), min_tree)
+            .total_cost;
+    const auto max_cost =
+        analysis::kary_tree_costs(inst, max_result.matching(), max_tree)
+            .total_cost;
+    min_wins += (min_cost <= max_cost);
+  }
+  EXPECT_GT(min_wins, trials / 2);
+}
+
+TEST(TreeSelection, ResultIsStillStable) {
+  Rng rng(1403);
+  for (const auto objective : {TreeObjective::min_cost, TreeObjective::max_cost}) {
+    const auto inst = gen::uniform(4, 4, rng);
+    const auto result = cost_aware_binding(inst, objective);
+    EXPECT_FALSE(
+        analysis::find_blocking_family(inst, result.matching()).has_value());
+  }
+}
+
+TEST(GeneratorsExtra, EuclideanIsValidAndMutuallyConsistent) {
+  Rng rng(1404);
+  const auto inst = gen::euclidean(3, 12, 2, rng);
+  EXPECT_NO_THROW(inst.validate());
+  // Geometric consistency: if b is a's nearest member of gender 1 and a is
+  // b's nearest member of gender 0, they form a mutual top pair; such a pair
+  // always exists (the globally closest cross pair). Find it.
+  bool mutual_top_exists = false;
+  for (Index i = 0; i < 12 && !mutual_top_exists; ++i) {
+    const Index b = inst.pref_list({0, i}, 1)[0];
+    mutual_top_exists = inst.pref_list({1, b}, 0)[0] == i;
+  }
+  EXPECT_TRUE(mutual_top_exists);
+  EXPECT_THROW(gen::euclidean(3, 4, 0, rng), ContractViolation);
+}
+
+TEST(GeneratorsExtra, TieredRespectsTierOrder) {
+  Rng rng(1405);
+  const std::int32_t tiers = 3;
+  const Index n = 9;
+  const auto inst = gen::tiered(2, n, tiers, rng);
+  EXPECT_NO_THROW(inst.validate());
+  // All observers of a gender agree on the tier boundaries: the set of
+  // members in the first n/tiers positions is the same for every observer.
+  std::vector<std::set<Index>> first_tier;
+  for (Index i = 0; i < n; ++i) {
+    const auto list = inst.pref_list({0, i}, 1);
+    first_tier.emplace_back(list.begin(), list.begin() + n / tiers);
+  }
+  for (std::size_t i = 1; i < first_tier.size(); ++i) {
+    EXPECT_EQ(first_tier[i], first_tier[0]);
+  }
+  EXPECT_THROW(gen::tiered(2, 4, 0, rng), ContractViolation);
+  EXPECT_THROW(gen::tiered(2, 4, 5, rng), ContractViolation);
+}
+
+TEST(GeneratorsExtra, TieredOneTierIsUniformLike) {
+  Rng rng(1406);
+  const auto inst = gen::tiered(2, 6, 1, rng);
+  EXPECT_NO_THROW(inst.validate());
+}
+
+TEST(Dot, BindingStructureEmission) {
+  BindingStructure tree(3);
+  tree.add_edge({0, 1});
+  tree.add_edge({1, 2});
+  const std::string dot = analysis::to_dot(tree);
+  EXPECT_NE(dot.find("graph binding_structure"), std::string::npos);
+  EXPECT_NE(dot.find("g0 -- g1"), std::string::npos);
+  EXPECT_NE(dot.find("g1 -- g2"), std::string::npos);
+}
+
+TEST(Dot, MatchingEmission) {
+  const KaryMatching matching(3, 2, {0, 0, 0, 1, 1, 1});
+  const std::string dot = analysis::to_dot(matching);
+  EXPECT_NE(dot.find("cluster_family_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_family_1"), std::string::npos);
+  EXPECT_NE(dot.find("\"a0\""), std::string::npos);
+  EXPECT_NE(dot.find("\"c1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kstable::core

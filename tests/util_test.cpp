@@ -1,0 +1,221 @@
+// Unit tests for the util substrate: RNG, contracts, tables, timer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kstable {
+namespace {
+
+TEST(Check, RequireThrowsContractViolationWithContext) {
+  try {
+    KSTABLE_REQUIRE(1 == 2, "custom message " << 42);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, EnsureThrowsPostcondition) {
+  EXPECT_THROW(KSTABLE_ENSURE(false, "bad"), ContractViolation);
+}
+
+TEST(Check, PassingConditionsDoNotThrow) {
+  EXPECT_NO_THROW(KSTABLE_REQUIRE(true, "never"));
+  EXPECT_NO_THROW(KSTABLE_ENSURE(2 + 2 == 4, "never"));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0U);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> histogram{};
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.below(kBuckets)];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);  // all 7 values hit in 500 draws
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(99);
+  for (std::int32_t n : {1, 2, 5, 100}) {
+    auto perm = rng.permutation(n);
+    ASSERT_EQ(perm.size(), static_cast<std::size_t>(n));
+    auto sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::int32_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(Rng, PermutationsVary) {
+  Rng rng(100);
+  // Over 20 permutations of 10 elements, at least two should differ.
+  const auto first = rng.permutation(10);
+  bool any_different = false;
+  for (int i = 0; i < 20 && !any_different; ++i) {
+    any_different = rng.permutation(10) != first;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(3);
+  std::vector<int> v{1, 1, 2, 3, 5, 8, 13};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent() == child());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Splitmix, KnownFirstOutputs) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  // Reference value for seed 0 (published splitmix64 test vector).
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+}
+
+TEST(Table, AlignedPrintContainsAllCells) {
+  TableWriter table("demo", {"name", "count", "ratio"});
+  table.add_row({std::string("alpha"), std::int64_t{42}, 0.5});
+  table.add_row({std::string("b"), std::int64_t{7}, 1.25});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("1.250"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2U);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  TableWriter table("csv", {"a", "b"});
+  table.add_row({std::string("has,comma"), std::string("has\"quote")});
+  std::ostringstream os;
+  table.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowAritymismatchRejected) {
+  TableWriter table("bad", {"only"});
+  EXPECT_THROW(table.add_row({std::string("x"), std::string("y")}),
+               ContractViolation);
+}
+
+TEST(Table, EmptyColumnsRejected) {
+  EXPECT_THROW(TableWriter("t", {}), ContractViolation);
+}
+
+TEST(Table, FormatDoubleDigits) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Table, JoinBehaviour) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = timer.millis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 5000.0);
+  timer.reset();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+TEST(Timer, UnitsAreConsistent) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = timer.seconds();
+  const double ms = timer.millis();
+  EXPECT_NEAR(ms / 1000.0, s, 0.05);
+}
+
+}  // namespace
+}  // namespace kstable
