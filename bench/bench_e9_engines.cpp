@@ -61,6 +61,26 @@ void bm_engine_queue(benchmark::State& state) {
 }
 BENCHMARK(bm_engine_queue)->RangeMultiplier(2)->Range(256, 8192)->Complexity();
 
+// Resilience-overhead ablation: the same queue engine with an attached (but
+// unlimited) ExecControl. The delta vs bm_engine_queue is the full cost of
+// deadline/cancellation support — one relaxed fetch_add plus one relaxed load
+// per proposal, with the clock consulted every kClockStride units. Should be
+// within noise of the unguarded run.
+void bm_engine_queue_guarded(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(93);
+  const auto inst = gen::uniform(2, n, rng);
+  resilience::ExecControl control{
+      resilience::Budget::deadline(3.6e6)};  // one hour: never trips
+  gs::GsOptions options;
+  options.control = &control;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gs::gale_shapley_queue(inst, 0, 1, options).proposals);
+  }
+}
+BENCHMARK(bm_engine_queue_guarded)->RangeMultiplier(2)->Range(256, 8192);
+
 void bm_engine_rounds(benchmark::State& state) {
   const auto n = static_cast<Index>(state.range(0));
   Rng rng(93);

@@ -11,11 +11,20 @@
 //                                            size c (k' must be divisible by c)
 //   kmatch info  <file>                      print instance dimensions
 //
-// Exit code 0 on success, 1 on "no stable matching", 2 on usage errors.
+// Global flags (accepted anywhere on the command line):
+//   --deadline-ms=<ms>     abort the solve after a wall-clock deadline
+//   --max-proposals=<n>    abort the solve after n accumulated proposals
+//   --fallback             (kary only) on abort, retry along different
+//                          spanning trees, then degrade to the priority model
+//
+// Exit code 0 on success, 1 on "no stable matching", 2 on usage errors,
+// 3 when a solve was aborted (deadline/budget exhausted without --fallback,
+// or every fallback rung failed).
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/kstable.hpp"
 
@@ -23,17 +32,28 @@ namespace {
 
 using namespace kstable;
 
+/// Flags shared by every solving command; set once in main().
+resilience::Budget g_budget;
+bool g_fallback = false;
+
+/// Returns a control for the configured budget, or nullptr when unlimited.
+resilience::ExecControl* budget_control() {
+  static resilience::ExecControl control{g_budget};
+  return g_budget.unlimited() ? nullptr : &control;
+}
+
 int usage() {
   std::cerr << "usage:\n"
-               "  kmatch gen <k> <n> <seed> <file>\n"
-               "  kmatch kary <file> [path|star|random|priority]\n"
-               "  kmatch binary <file> [rr|blocks]\n"
-               "  kmatch roommates <file>\n"
-               "  kmatch coalitions <file> <group size>\n"
+               "  kmatch [flags] gen <k> <n> <seed> <file>\n"
+               "  kmatch [flags] kary <file> [path|star|random|priority]\n"
+               "  kmatch [flags] binary <file> [rr|blocks]\n"
+               "  kmatch [flags] roommates <file>\n"
+               "  kmatch [flags] coalitions <file> <group size>\n"
                "  kmatch example [<name> <file>]   (no args: list catalog)\n"
                "  kmatch stats <file>\n"
                "  kmatch dot <file> tree|matching\n"
-               "  kmatch info <file>\n";
+               "  kmatch info <file>\n"
+               "flags: --deadline-ms=<ms>  --max-proposals=<n>  --fallback\n";
   return 2;
 }
 
@@ -65,8 +85,24 @@ int cmd_kary(int argc, char** argv) {
 
   core::BindingResult result;
   BindingStructure tree(k);
-  if (shape == "priority") {
-    auto pr = core::priority_binding(inst);
+  if (g_fallback) {
+    resilience::FallbackOptions opts;
+    opts.per_attempt = g_budget;
+    auto report = resilience::solve_with_fallback(inst, opts);
+    std::cout << "fallback ladder: " << report.attempts.size()
+              << " attempt(s), rung " << resilience::to_string(report.rung)
+              << '\n';
+    if (!report.succeeded) {
+      std::cout << "all rungs failed: " << report.status.summary() << '\n';
+      return 3;
+    }
+    tree = BindingStructure(k);
+    for (const auto& e : report.attempts.back().tree_edges) tree.add_edge(e);
+    result = std::move(*report.result);
+  } else if (shape == "priority") {
+    core::PriorityBindingOptions popts;
+    popts.binding.control = budget_control();
+    auto pr = core::priority_binding(inst, popts);
     result = std::move(pr.binding);
     tree = pr.tree;
   } else {
@@ -80,7 +116,9 @@ int cmd_kary(int argc, char** argv) {
     } else {
       return usage();
     }
-    result = core::iterative_binding(inst, tree);
+    core::BindingOptions bopts;
+    bopts.control = budget_control();
+    result = core::iterative_binding(inst, tree, bopts);
   }
 
   std::cout << "binding tree edges:";
@@ -110,7 +148,8 @@ int cmd_binary(int argc, char** argv) {
   } else {
     return usage();
   }
-  const auto result = rm::solve_kpartite_binary(inst, policy);
+  const auto result =
+      rm::solve_kpartite_binary(inst, policy, nullptr, budget_control());
   if (!result.has_stable) {
     std::cout << "no stable binary matching (reduced list of person "
               << result.detail.failed_person << " emptied)\n";
@@ -187,7 +226,9 @@ int cmd_dot(int argc, char** argv) {
 int cmd_roommates(int argc, char** argv) {
   if (argc != 3) return usage();
   const auto inst = rm::io::load_file(argv[2]);
-  const auto result = rm::solve(inst);
+  rm::SolveOptions solve_options;
+  solve_options.control = budget_control();
+  const auto result = rm::solve(inst, solve_options);
   if (!result.has_stable) {
     std::cout << "no stable matching (reduced list of person "
               << result.failed_person << " emptied)\n";
@@ -229,18 +270,40 @@ int cmd_coalitions(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Strip global flags anywhere on the line; commands see the remainder.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--deadline-ms=", 0) == 0) {
+      g_budget.wall_ms = std::atof(a.c_str() + 14);
+    } else if (a.rfind("--max-proposals=", 0) == 0) {
+      g_budget.max_proposals = std::atoll(a.c_str() + 16);
+    } else if (a == "--fallback") {
+      g_fallback = true;
+    } else if (a.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag '" << a << "'\n";
+      return usage();
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+  if (nargs < 2) return usage();
+  const std::string cmd = args[1];
   try {
-    if (cmd == "gen") return cmd_gen(argc, argv);
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "kary") return cmd_kary(argc, argv);
-    if (cmd == "binary") return cmd_binary(argc, argv);
-    if (cmd == "roommates") return cmd_roommates(argc, argv);
-    if (cmd == "coalitions") return cmd_coalitions(argc, argv);
-    if (cmd == "example") return cmd_example(argc, argv);
-    if (cmd == "stats") return cmd_stats(argc, argv);
-    if (cmd == "dot") return cmd_dot(argc, argv);
+    if (cmd == "gen") return cmd_gen(nargs, args.data());
+    if (cmd == "info") return cmd_info(nargs, args.data());
+    if (cmd == "kary") return cmd_kary(nargs, args.data());
+    if (cmd == "binary") return cmd_binary(nargs, args.data());
+    if (cmd == "roommates") return cmd_roommates(nargs, args.data());
+    if (cmd == "coalitions") return cmd_coalitions(nargs, args.data());
+    if (cmd == "example") return cmd_example(nargs, args.data());
+    if (cmd == "stats") return cmd_stats(nargs, args.data());
+    if (cmd == "dot") return cmd_dot(nargs, args.data());
+  } catch (const kstable::ExecutionAborted& e) {
+    std::cerr << "aborted: " << e.what() << '\n';
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

@@ -1,10 +1,30 @@
 #!/usr/bin/env bash
-# Reproduces everything: build, full test suite, every experiment E1..E15.
+# Reproduces everything: build, full test suite, every experiment E1..E16.
 # Outputs land in test_output.txt and bench_output.txt at the repo root.
+#
+# Fail-fast discipline: results are written to *.partial files and only
+# renamed into place after the producing step succeeds, so an aborted run can
+# never leave a truncated file that looks like a complete result.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+on_error() {
+  echo "reproduce.sh: FAILED at line $1 — partial outputs left as *.partial" >&2
+}
+trap 'on_error $LINENO' ERR
+
 cmake -B build -G Ninja
 cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+
+ctest --test-dir build 2>&1 | tee test_output.txt.partial
+mv test_output.txt.partial test_output.txt
+
+# Each benchmark binary must succeed; a crashing or aborted experiment kills
+# the run instead of silently truncating bench_output.txt.
+: > bench_output.txt.partial
+for b in build/bench/bench_*; do
+  echo "== $b ==" | tee -a bench_output.txt.partial
+  "$b" 2>&1 | tee -a bench_output.txt.partial
+done
+mv bench_output.txt.partial bench_output.txt
+echo "reproduce.sh: all experiments completed"

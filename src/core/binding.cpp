@@ -1,21 +1,26 @@
 #include "core/binding.hpp"
 
 #include "gs/parallel_gs.hpp"
+#include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace kstable::core {
 
 gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
                          const BindingOptions& options) {
+  gs::GsOptions gs_options;
+  gs_options.control = options.control;
   switch (options.engine) {
     case GsEngine::queue:
-      return gs::gale_shapley_queue(inst, edge.a, edge.b);
+      return gs::gale_shapley_queue(inst, edge.a, edge.b, gs_options);
     case GsEngine::rounds:
-      return gs::gale_shapley_rounds(inst, edge.a, edge.b);
+      return gs::gale_shapley_rounds(inst, edge.a, edge.b, gs_options);
     case GsEngine::parallel:
       KSTABLE_REQUIRE(options.pool != nullptr,
                       "GsEngine::parallel needs a ThreadPool");
-      return gs::gale_shapley_parallel(inst, edge.a, edge.b, *options.pool);
+      return gs::gale_shapley_parallel(inst, edge.a, edge.b, *options.pool,
+                                       256, options.control);
   }
   KSTABLE_REQUIRE(false, "unknown GS engine");
   return {};
@@ -28,12 +33,17 @@ BindingResult bind_structure(const KPartiteInstance& inst,
                   "structure has " << structure.genders()
                                    << " genders, instance " << inst.genders());
   BindingResult result;
+  WallTimer timer;
   result.edge_results.reserve(structure.edges().size());
   for (const auto& edge : structure.edges()) {
+    KSTABLE_FAULT_POINT("core/binding_edge");
+    if (options.control != nullptr) options.control->check_now();
     result.edge_results.push_back(run_binding(inst, edge, options));
     result.total_proposals += result.edge_results.back().proposals;
   }
   result.equivalence = derive_families(inst, structure, result.edge_results);
+  result.status.proposals = result.total_proposals;
+  result.status.wall_ms = timer.millis();
   return result;
 }
 
@@ -103,6 +113,7 @@ StrengthenResult strengthen_bindings(const KPartiteInstance& inst,
   for (const auto& r : result.binding.edge_results) {
     result.binding.total_proposals += r.proposals;
   }
+  result.binding.status.proposals = result.binding.total_proposals;
   result.binding.equivalence =
       derive_families(inst, result.structure, result.binding.edge_results);
   KSTABLE_ENSURE(result.binding.equivalence.consistent,

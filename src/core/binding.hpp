@@ -22,6 +22,7 @@
 #include "parallel/thread_pool.hpp"
 #include "prefs/kpartite.hpp"
 #include "prefs/matching.hpp"
+#include "resilience/control.hpp"
 
 namespace kstable::core {
 
@@ -32,6 +33,9 @@ struct BindingOptions {
   GsEngine engine = GsEngine::queue;
   /// Required when engine == GsEngine::parallel.
   ThreadPool* pool = nullptr;
+  /// Optional deadline/budget/cancellation control, threaded into every
+  /// per-edge GS run and checked between edges. Throws ExecutionAborted.
+  resilience::ExecControl* control = nullptr;
 };
 
 /// Result of binding a structure (tree, forest, or cyclic edge set).
@@ -42,6 +46,9 @@ struct BindingResult {
   EquivalenceReport equivalence;
   /// Accumulated proposals over all bindings (Theorem 3's unit).
   std::int64_t total_proposals = 0;
+  /// How the solve ended (always SolveOutcome::ok when the call returns —
+  /// aborts throw — but carried so ladder/serving layers report uniformly).
+  resilience::SolveStatus status;
 
   [[nodiscard]] bool has_matching() const {
     return equivalence.matching.has_value();

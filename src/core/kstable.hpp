@@ -10,6 +10,8 @@
 //   core::priority_binding      — Algorithm 2 (weakened stability, §IV.D)
 //   core::execute_binding       — parallel binding (EREW/CREW schedules)
 //   analysis::*                 — stability checkers, oracles, metrics
+//   resilience::*               — deadlines/cancellation (ExecControl), fault
+//                                 injection, and the tree-fallback solve ladder
 #pragma once
 
 #include "analysis/assignment.hpp"
@@ -43,6 +45,10 @@
 #include "prefs/kpartite.hpp"
 #include "prefs/matching.hpp"
 #include "prefs/matching_io.hpp"
+#include "resilience/control.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/fault_injection.hpp"
+#include "resilience/solve_ladder.hpp"
 #include "roommates/adapters.hpp"
 #include "roommates/examples.hpp"
 #include "roommates/io.hpp"

@@ -1,6 +1,7 @@
 #include "core/parallel_binding.hpp"
 
 #include "graph/scheduling.hpp"
+#include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -8,19 +9,24 @@ namespace kstable::core {
 
 ParallelBindingReport execute_binding(const KPartiteInstance& inst,
                                       const BindingStructure& tree,
-                                      ExecutionMode mode, ThreadPool& pool) {
+                                      ExecutionMode mode, ThreadPool& pool,
+                                      resilience::ExecControl* control) {
   KSTABLE_REQUIRE(tree.is_forest(),
                   "parallel binding requires an acyclic structure");
   const auto& edges = tree.edges();
   ParallelBindingReport report;
   report.binding.edge_results.resize(edges.size());
+  gs::GsOptions gs_options;
+  gs_options.control = control;
 
   WallTimer timer;
   switch (mode) {
     case ExecutionMode::sequential: {
       for (std::size_t e = 0; e < edges.size(); ++e) {
+        KSTABLE_FAULT_POINT("core/parallel_round");
+        if (control != nullptr) control->check_now();
         report.binding.edge_results[e] =
-            gs::gale_shapley_queue(inst, edges[e].a, edges[e].b);
+            gs::gale_shapley_queue(inst, edges[e].a, edges[e].b, gs_options);
       }
       report.rounds_executed = static_cast<std::int64_t>(edges.size());
       break;
@@ -28,10 +34,14 @@ ParallelBindingReport execute_binding(const KPartiteInstance& inst,
     case ExecutionMode::erew_rounds: {
       const auto schedule = sched::color_forest(tree);
       for (const auto& round : schedule.rounds) {
+        // Per-round barrier checkpoint: a deadline or injected fault stops
+        // the executor between rounds, with no tasks in flight.
+        KSTABLE_FAULT_POINT("core/parallel_round");
+        if (control != nullptr) control->check_now();
         pool.for_each_index(round.size(), [&](std::size_t slot) {
           const std::size_t e = round[slot];
           report.binding.edge_results[e] =
-              gs::gale_shapley_queue(inst, edges[e].a, edges[e].b);
+              gs::gale_shapley_queue(inst, edges[e].a, edges[e].b, gs_options);
         });
       }
       report.rounds_executed =
@@ -39,9 +49,11 @@ ParallelBindingReport execute_binding(const KPartiteInstance& inst,
       break;
     }
     case ExecutionMode::crew_full: {
+      KSTABLE_FAULT_POINT("core/parallel_round");
+      if (control != nullptr) control->check_now();
       pool.for_each_index(edges.size(), [&](std::size_t e) {
         report.binding.edge_results[e] =
-            gs::gale_shapley_queue(inst, edges[e].a, edges[e].b);
+            gs::gale_shapley_queue(inst, edges[e].a, edges[e].b, gs_options);
       });
       report.rounds_executed = edges.empty() ? 0 : 1;
       break;
@@ -53,6 +65,8 @@ ParallelBindingReport execute_binding(const KPartiteInstance& inst,
     report.binding.total_proposals += r.proposals;
     report.edge_proposals.push_back(r.proposals);
   }
+  report.binding.status.proposals = report.binding.total_proposals;
+  report.binding.status.wall_ms = report.wall_seconds * 1e3;
   report.binding.equivalence =
       derive_families(inst, tree, report.binding.edge_results);
   KSTABLE_ENSURE(!tree.is_spanning_tree() || report.binding.equivalence.consistent,

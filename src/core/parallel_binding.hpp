@@ -34,8 +34,12 @@ struct ParallelBindingReport {
 /// Executes `tree`'s bindings under `mode` using `pool`, then charges the
 /// matching PRAM cost model. The produced matching is identical across all
 /// modes (binding edges are independent); tests assert this determinism.
+/// A non-null `control` is checked at every per-round barrier and charged
+/// inside each edge's GS run (worker aborts propagate through the pool's
+/// exception channel); throws ExecutionAborted on deadline/budget/cancel.
 ParallelBindingReport execute_binding(const KPartiteInstance& inst,
                                       const BindingStructure& tree,
-                                      ExecutionMode mode, ThreadPool& pool);
+                                      ExecutionMode mode, ThreadPool& pool,
+                                      resilience::ExecControl* control = nullptr);
 
 }  // namespace kstable::core

@@ -58,6 +58,7 @@ GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
     const Index r = list[static_cast<std::size_t>(
         next_choice[static_cast<std::size_t>(p)]++)];
     ++result.proposals;
+    if (options.control != nullptr) options.control->charge();
 
     const Index holder = result.responder_match[static_cast<std::size_t>(r)];
     ProposalEvent event{p, r, false, -1};
@@ -99,6 +100,10 @@ GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
 
   while (!free_list.empty()) {
     ++result.rounds;
+    // One batched charge per round (every free proposer proposes once).
+    if (options.control != nullptr) {
+      options.control->charge(static_cast<std::int64_t>(free_list.size()));
+    }
     still_free.clear();
     // Phase 1 of the round: every unengaged proposer proposes to the
     // most-preferred responder it has not yet proposed to (§II.A verbatim).

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "prefs/kpartite.hpp"
+#include "resilience/control.hpp"
 
 namespace kstable::gs {
 
@@ -45,6 +46,9 @@ struct GsResult {
 struct GsOptions {
   /// If non-null, every proposal event is appended (small instances only).
   std::vector<ProposalEvent>* trace = nullptr;
+  /// If non-null, charged one unit per proposal; throws ExecutionAborted on
+  /// deadline/budget/cancel (resilience/control.hpp). Null = unlimited.
+  resilience::ExecControl* control = nullptr;
 };
 
 /// Queue-based Gale-Shapley: proposers from gender `i` propose to gender `j`.

@@ -33,7 +33,8 @@ void offer(std::atomic<std::uint64_t>& slot, std::uint64_t packed) {
 }  // namespace
 
 GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
-                               ThreadPool& pool, std::size_t chunk) {
+                               ThreadPool& pool, std::size_t chunk,
+                               resilience::ExecControl* control) {
   KSTABLE_REQUIRE(i != j && i >= 0 && j >= 0 && i < inst.genders() &&
                       j < inst.genders(),
                   "GS(" << i << ',' << j << ") invalid, k=" << inst.genders());
@@ -56,6 +57,11 @@ GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
   while (!free_list.empty()) {
     ++result.rounds;
     result.proposals += static_cast<std::int64_t>(free_list.size());
+    // Charged at the barrier, before dispatch: the abort unwinds with no
+    // tasks in flight.
+    if (control != nullptr) {
+      control->charge(static_cast<std::int64_t>(free_list.size()));
+    }
 
     const std::size_t tasks = (free_list.size() + chunk - 1) / chunk;
     pool.for_each_index(tasks, [&](std::size_t t) {

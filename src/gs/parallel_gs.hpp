@@ -17,8 +17,11 @@ namespace kstable::gs {
 
 /// Parallel GS(i, j) over `pool`. Proposals within a round run concurrently;
 /// rounds are separated by barriers. `chunk` proposers are handled per task
-/// (tune to amortize scheduling overhead).
+/// (tune to amortize scheduling overhead). A non-null `control` is charged
+/// one batch per round at the barrier (single-threaded, so the deadline check
+/// never races the workers) and aborts the solve via ExecutionAborted.
 GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
-                               ThreadPool& pool, std::size_t chunk = 256);
+                               ThreadPool& pool, std::size_t chunk = 256,
+                               resilience::ExecControl* control = nullptr);
 
 }  // namespace kstable::gs

@@ -41,6 +41,14 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::for_each_index(std::size_t count,
                                 const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
@@ -55,8 +63,9 @@ void ThreadPool::for_each_index(std::size_t count,
   barrier->remaining = count;
 
   for (std::size_t i = 0; i < count; ++i) {
-    submit([barrier, &fn, i] {
+    enqueue([barrier, &fn, i] {
       try {
+        KSTABLE_FAULT_POINT("thread_pool/for_each_index");
         fn(i);
       } catch (...) {
         std::scoped_lock lock(barrier->m);

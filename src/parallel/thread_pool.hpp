@@ -11,7 +11,10 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "resilience/fault_injection.hpp"
 
 namespace kstable {
 
@@ -31,28 +34,35 @@ class ThreadPool {
     return workers_.size();
   }
 
-  /// Enqueues a task; returns a future for its result.
+  /// Enqueues a task; returns a future for its result. Exceptions the task
+  /// throws (including the "thread_pool/task" fault point) are captured into
+  /// the future and rethrown by get().
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [inner = std::forward<F>(fn)]() mutable -> R {
+          KSTABLE_FAULT_POINT("thread_pool/task");
+          return inner();
+        });
     std::future<R> result = task->get_future();
-    {
-      std::scoped_lock lock(mutex_);
-      queue_.emplace([task]() { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task]() { (*task)(); });
     return result;
   }
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
-  /// complete. Exceptions from tasks are rethrown (first one wins).
+  /// complete; count == 0 is a no-op. Exceptions from tasks — including the
+  /// "thread_pool/for_each_index" fault point — are rethrown (first one
+  /// wins), after every task has finished.
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+
+  /// Queues a raw task. for_each_index uses this directly (not submit) so
+  /// its completion barrier also covers injected task faults.
+  void enqueue(std::function<void()> task);
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "resilience/errors.hpp"
+#include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
 
 namespace kstable::io {
@@ -44,28 +46,41 @@ void save(const KPartiteInstance& inst, std::ostream& os) {
 }
 
 KPartiteInstance load(std::istream& is) {
+  KSTABLE_FAULT_POINT("io/load");
   auto header = next_line(is);
-  KSTABLE_REQUIRE(header.has_value(), "empty instance stream");
+  KSTABLE_PARSE_REQUIRE(header.has_value(), "empty instance stream");
   {
     std::istringstream hs(*header);
     std::string magic, version;
     hs >> magic >> version;
-    KSTABLE_REQUIRE(magic == kMagic && version == kVersion,
-                    "bad header '" << *header << "'");
+    KSTABLE_PARSE_REQUIRE(magic == kMagic && version == kVersion,
+                          "bad header '" << *header << "'");
   }
   auto dims = next_line(is);
-  KSTABLE_REQUIRE(dims.has_value(), "missing dimensions line");
+  KSTABLE_PARSE_REQUIRE(dims.has_value(), "missing dimensions line");
   Gender k = 0;
   Index n = 0;
   {
     std::istringstream ds(*dims);
     ds >> k >> n;
-    KSTABLE_REQUIRE(!ds.fail(), "bad dimensions line '" << *dims << "'");
+    KSTABLE_PARSE_REQUIRE(!ds.fail(), "bad dimensions line '" << *dims << "'");
+    KSTABLE_PARSE_REQUIRE(k >= 2 && n >= 1,
+                          "dimensions out of range: k=" << k << " n=" << n);
   }
-  KPartiteInstance inst(k, n);
+  KPartiteInstance inst = [&] {
+    try {
+      return KPartiteInstance(k, n);
+    } catch (const std::bad_alloc&) {
+      throw ParseError("parse error: instance dimensions too large");
+    }
+  }();
   const std::size_t expected_lists = static_cast<std::size_t>(k) *
                                      static_cast<std::size_t>(n) *
                                      static_cast<std::size_t>(k - 1);
+  // One slot per (observer member, target gender): duplicates are rejected
+  // outright instead of trusting the final count (a duplicate plus a missing
+  // line would otherwise pass the seen == expected_lists check).
+  std::vector<bool> filled(expected_lists, false);
   std::size_t seen = 0;
   while (auto line = next_line(is)) {
     std::istringstream ls(*line);
@@ -73,18 +88,45 @@ KPartiteInstance load(std::istream& is) {
     Gender g = 0, h = 0;
     Index i = 0;
     ls >> tag >> g >> i >> h >> colon;
-    KSTABLE_REQUIRE(!ls.fail() && tag == "pref" && colon == ":",
-                    "bad pref line '" << *line << "'");
+    KSTABLE_PARSE_REQUIRE(!ls.fail() && tag == "pref" && colon == ":",
+                          "bad pref line '" << *line << "'");
+    // Bounds-check before indexing anything with g/i/h.
+    KSTABLE_PARSE_REQUIRE(g >= 0 && g < k, "gender " << g
+                              << " out of range on line '" << *line << "'");
+    KSTABLE_PARSE_REQUIRE(i >= 0 && i < n, "member " << i
+                              << " out of range on line '" << *line << "'");
+    KSTABLE_PARSE_REQUIRE(h >= 0 && h < k && h != g,
+                          "target gender " << h << " invalid on line '"
+                                           << *line << "'");
+    const std::size_t slot =
+        (static_cast<std::size_t>(g) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(i)) *
+            static_cast<std::size_t>(k - 1) +
+        static_cast<std::size_t>(h < g ? h : h - 1);
+    KSTABLE_PARSE_REQUIRE(!filled[slot], "duplicate pref line for member ("
+                                             << g << ',' << i
+                                             << ") over gender " << h);
+    filled[slot] = true;
     std::vector<Index> order;
     order.reserve(static_cast<std::size_t>(n));
     Index idx = 0;
     while (ls >> idx) order.push_back(idx);
-    inst.set_pref_list({g, i}, h, order);
+    try {
+      inst.set_pref_list({g, i}, h, order);
+    } catch (const ContractViolation& e) {
+      // Non-permutation list: malformed input, not a programming error.
+      throw ParseError(std::string("parse error: ") + e.what());
+    }
     ++seen;
   }
-  KSTABLE_REQUIRE(seen == expected_lists, "instance has " << seen
-                      << " pref lines, expected " << expected_lists);
-  inst.validate();
+  KSTABLE_PARSE_REQUIRE(seen == expected_lists,
+                        "instance has " << seen << " pref lines, expected "
+                                        << expected_lists);
+  try {
+    inst.validate();
+  } catch (const ContractViolation& e) {
+    throw ParseError(std::string("parse error: ") + e.what());
+  }
   return inst;
 }
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "resilience/errors.hpp"
+#include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
 
 namespace kstable::io {
@@ -23,19 +25,19 @@ std::optional<std::string> next_line(std::istream& is) {
 
 void read_header(std::istream& is, const char* magic, Gender& k, Index& n) {
   auto header = next_line(is);
-  KSTABLE_REQUIRE(header.has_value(), "empty matching stream");
+  KSTABLE_PARSE_REQUIRE(header.has_value(), "empty matching stream");
   {
     std::istringstream hs(*header);
     std::string found_magic, version;
     hs >> found_magic >> version;
-    KSTABLE_REQUIRE(found_magic == magic && version == "v1",
+    KSTABLE_PARSE_REQUIRE(found_magic == magic && version == "v1",
                     "bad header '" << *header << "'");
   }
   auto dims = next_line(is);
-  KSTABLE_REQUIRE(dims.has_value(), "missing dimensions line");
+  KSTABLE_PARSE_REQUIRE(dims.has_value(), "missing dimensions line");
   std::istringstream ds(*dims);
   ds >> k >> n;
-  KSTABLE_REQUIRE(!ds.fail() && k >= 2 && n >= 1,
+  KSTABLE_PARSE_REQUIRE(!ds.fail() && k >= 2 && n >= 1,
                   "bad dimensions line '" << *dims << "'");
 }
 
@@ -54,6 +56,7 @@ void save(const KaryMatching& matching, std::ostream& os) {
 }
 
 KaryMatching load_kary(std::istream& is) {
+  KSTABLE_FAULT_POINT("io/load");
   Gender k = 0;
   Index n = 0;
   read_header(is, "kstable-kary", k, n);
@@ -65,24 +68,28 @@ KaryMatching load_kary(std::istream& is) {
     std::string tag, colon;
     Index t = 0;
     ls >> tag >> t >> colon;
-    KSTABLE_REQUIRE(!ls.fail() && tag == "family" && colon == ":",
+    KSTABLE_PARSE_REQUIRE(!ls.fail() && tag == "family" && colon == ":",
                     "bad family line '" << *line << "'");
-    KSTABLE_REQUIRE(t >= 0 && t < n, "family index " << t << " out of range");
-    KSTABLE_REQUIRE(!seen[static_cast<std::size_t>(t)],
+    KSTABLE_PARSE_REQUIRE(t >= 0 && t < n, "family index " << t << " out of range");
+    KSTABLE_PARSE_REQUIRE(!seen[static_cast<std::size_t>(t)],
                     "duplicate family " << t);
     seen[static_cast<std::size_t>(t)] = true;
     for (Gender g = 0; g < k; ++g) {
       Index idx = -1;
       ls >> idx;
-      KSTABLE_REQUIRE(!ls.fail(), "family " << t << " has too few members");
+      KSTABLE_PARSE_REQUIRE(!ls.fail(), "family " << t << " has too few members");
       families[static_cast<std::size_t>(t) * static_cast<std::size_t>(k) +
                static_cast<std::size_t>(g)] = idx;
     }
   }
   for (Index t = 0; t < n; ++t) {
-    KSTABLE_REQUIRE(seen[static_cast<std::size_t>(t)], "missing family " << t);
+    KSTABLE_PARSE_REQUIRE(seen[static_cast<std::size_t>(t)], "missing family " << t);
   }
-  return KaryMatching(k, n, std::move(families));
+  try {
+    return KaryMatching(k, n, std::move(families));
+  } catch (const ContractViolation& e) {
+    throw ParseError(std::string("parse error: ") + e.what());
+  }
 }
 
 std::string to_string(const KaryMatching& matching) {
@@ -108,6 +115,7 @@ void save(const BinaryMatchingKP& matching, std::ostream& os) {
 }
 
 BinaryMatchingKP load_binary(std::istream& is) {
+  KSTABLE_FAULT_POINT("io/load");
   Gender k = 0;
   Index n = 0;
   read_header(is, "kstable-binary", k, n);
@@ -118,19 +126,23 @@ BinaryMatchingKP load_binary(std::istream& is) {
     std::string tag;
     std::int32_t a = -1, b = -1;
     ls >> tag >> a >> b;
-    KSTABLE_REQUIRE(!ls.fail() && tag == "pair",
+    KSTABLE_PARSE_REQUIRE(!ls.fail() && tag == "pair",
                     "bad pair line '" << *line << "'");
-    KSTABLE_REQUIRE(a >= 0 && b >= 0 &&
+    KSTABLE_PARSE_REQUIRE(a >= 0 && b >= 0 &&
                         a < static_cast<std::int32_t>(total) &&
                         b < static_cast<std::int32_t>(total),
                     "pair (" << a << ',' << b << ") out of range");
-    KSTABLE_REQUIRE(partner[static_cast<std::size_t>(a)] == -1 &&
+    KSTABLE_PARSE_REQUIRE(partner[static_cast<std::size_t>(a)] == -1 &&
                         partner[static_cast<std::size_t>(b)] == -1,
                     "member in two pairs on line '" << *line << "'");
     partner[static_cast<std::size_t>(a)] = b;
     partner[static_cast<std::size_t>(b)] = a;
   }
-  return BinaryMatchingKP(k, n, std::move(partner));
+  try {
+    return BinaryMatchingKP(k, n, std::move(partner));
+  } catch (const ContractViolation& e) {
+    throw ParseError(std::string("parse error: ") + e.what());
+  }
 }
 
 std::string to_string(const BinaryMatchingKP& matching) {

@@ -1,0 +1,117 @@
+#include "resilience/fault_injection.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace kstable::resilience {
+
+namespace detail {
+std::atomic<std::int32_t> g_armed_points{0};
+}  // namespace detail
+
+/// Per-point armed state. Guarded by Impl::mutex.
+struct PointState {
+  FaultConfig config;
+  Rng rng{1};
+  std::int64_t hits = 0;
+  std::int64_t fires = 0;
+  std::vector<std::int64_t> fire_log;
+};
+
+class FaultRegistry::Impl {
+ public:
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, PointState> points;
+};
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+FaultRegistry::Impl& FaultRegistry::impl() const {
+  static Impl the_impl;
+  return the_impl;
+}
+
+void FaultRegistry::arm(const std::string& point, FaultConfig config) {
+  auto& i = impl();
+  std::scoped_lock lock(i.mutex);
+  PointState state;
+  state.config = config;
+  state.rng = Rng(config.seed);
+  auto [it, inserted] = i.points.insert_or_assign(point, std::move(state));
+  (void)it;
+  if (inserted) {
+    detail::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::disarm(const std::string& point) {
+  auto& i = impl();
+  std::scoped_lock lock(i.mutex);
+  if (i.points.erase(point) > 0) {
+    detail::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::disarm_all() {
+  auto& i = impl();
+  std::scoped_lock lock(i.mutex);
+  detail::g_armed_points.fetch_sub(
+      static_cast<std::int32_t>(i.points.size()), std::memory_order_relaxed);
+  i.points.clear();
+}
+
+bool FaultRegistry::armed(const std::string& point) const {
+  auto& i = impl();
+  std::scoped_lock lock(i.mutex);
+  return i.points.contains(point);
+}
+
+std::int64_t FaultRegistry::hits(const std::string& point) const {
+  auto& i = impl();
+  std::scoped_lock lock(i.mutex);
+  const auto it = i.points.find(point);
+  return it == i.points.end() ? 0 : it->second.hits;
+}
+
+std::int64_t FaultRegistry::fires(const std::string& point) const {
+  auto& i = impl();
+  std::scoped_lock lock(i.mutex);
+  const auto it = i.points.find(point);
+  return it == i.points.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::int64_t> FaultRegistry::fire_log(
+    const std::string& point) const {
+  auto& i = impl();
+  std::scoped_lock lock(i.mutex);
+  const auto it = i.points.find(point);
+  return it == i.points.end() ? std::vector<std::int64_t>{}
+                              : it->second.fire_log;
+}
+
+void FaultRegistry::on_hit(const char* point) {
+  auto& i = impl();
+  std::scoped_lock lock(i.mutex);
+  const auto it = i.points.find(point);
+  if (it == i.points.end()) return;
+  PointState& state = it->second;
+  ++state.hits;
+  if (state.hits <= state.config.fire_after) return;
+  if (state.config.max_fires > 0 && state.fires >= state.config.max_fires) {
+    return;
+  }
+  if (state.config.probability < 1.0 &&
+      !state.rng.chance(state.config.probability)) {
+    return;
+  }
+  ++state.fires;
+  state.fire_log.push_back(state.hits);
+  throw InjectedFault(point);
+}
+
+}  // namespace kstable::resilience

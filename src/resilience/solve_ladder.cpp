@@ -1,0 +1,109 @@
+#include "resilience/solve_ladder.hpp"
+
+#include <set>
+#include <utility>
+
+#include "core/priority_binding.hpp"
+#include "graph/prufer.hpp"
+#include "util/check.hpp"
+
+namespace kstable::resilience {
+
+namespace {
+
+Budget scaled(const Budget& base, double scale) {
+  Budget b = base;
+  if (b.wall_ms > 0.0) b.wall_ms *= scale;
+  if (b.max_proposals > 0) {
+    b.max_proposals =
+        static_cast<std::int64_t>(static_cast<double>(b.max_proposals) * scale);
+  }
+  return b;
+}
+
+SolveStatus abort_status(const ExecControl& control, const ExecutionAborted& e) {
+  return control.aborted_status(e.reason(), e.what());
+}
+
+}  // namespace
+
+FallbackReport solve_with_fallback(const KPartiteInstance& inst,
+                                   const FallbackOptions& options) {
+  KSTABLE_REQUIRE(options.backoff >= 1.0,
+                  "backoff must be >= 1, got " << options.backoff);
+  KSTABLE_REQUIRE(options.max_tree_attempts >= 1,
+                  "need at least one strict attempt");
+  const Gender k = inst.genders();
+
+  FallbackReport report;
+  Rng tree_rng(options.tree_seed);
+  // Distinct candidate trees, deduplicated by Prüfer code. cayley_count
+  // saturates at INT64_MAX for large k, which is fine as an upper bound.
+  std::set<std::vector<Gender>> tried;
+  const std::int64_t distinct_trees = prufer::cayley_count(k);
+  double scale = 1.0;
+
+  for (std::int32_t attempt = 0; attempt < options.max_tree_attempts;
+       ++attempt) {
+    if (static_cast<std::int64_t>(tried.size()) >= distinct_trees) break;
+    // Attempt 0 binds along the path tree (the library default); retries draw
+    // fresh random trees from the deterministic stream, skipping repeats.
+    BindingStructure tree = attempt == 0 ? trees::path(k)
+                                         : prufer::random_tree(k, tree_rng);
+    while (!tried.insert(prufer::encode(tree)).second) {
+      tree = prufer::random_tree(k, tree_rng);
+    }
+
+    ExecControl control(scaled(options.per_attempt, scale), options.token);
+    AttemptLog log;
+    log.rung = Rung::strict_tree;
+    log.tree_edges = tree.edges();
+    try {
+      core::BindingOptions bopts{options.engine, options.pool, &control};
+      auto result = core::iterative_binding(inst, tree, bopts);
+      log.status = result.status;
+      report.attempts.push_back(std::move(log));
+      report.succeeded = true;
+      report.rung = Rung::strict_tree;
+      report.status = result.status;
+      report.result = std::move(result);
+      return report;
+    } catch (const ExecutionAborted& e) {
+      log.status = abort_status(control, e);
+      report.status = log.status;
+      report.attempts.push_back(std::move(log));
+      // A cancellation is a caller decision, not a per-tree failure: stop the
+      // whole ladder instead of burning the remaining rungs.
+      if (e.reason() == AbortReason::cancelled) return report;
+      scale *= options.backoff;
+    }
+  }
+
+  if (options.allow_degraded && !options.token.cancelled()) {
+    ExecControl control(scaled(options.per_attempt, scale), options.token);
+    AttemptLog log;
+    log.rung = Rung::degraded_priority;
+    try {
+      core::PriorityBindingOptions popts;
+      popts.binding = {options.engine, options.pool, &control};
+      auto pr = core::priority_binding(inst, popts);
+      log.tree_edges = pr.tree.edges();
+      log.status = pr.binding.status;
+      report.attempts.push_back(std::move(log));
+      report.succeeded = true;
+      report.rung = Rung::degraded_priority;
+      report.status = pr.binding.status;
+      report.result = std::move(pr.binding);
+      return report;
+    } catch (const ExecutionAborted& e) {
+      log.status = abort_status(control, e);
+      report.status = log.status;
+      report.attempts.push_back(std::move(log));
+    }
+  }
+
+  report.rung = Rung::none;
+  return report;
+}
+
+}  // namespace kstable::resilience

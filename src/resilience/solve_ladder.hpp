@@ -1,0 +1,96 @@
+// The fallback solve ladder: retry a failed/timed-out k-ary solve along
+// *different* spanning binding trees, then degrade to the priority model.
+//
+// Paper grounding: Cayley's formula (cited for Theorem 3) guarantees k^(k-2)
+// candidate spanning binding trees, every one of which yields a stable k-ary
+// matching (Theorem 2) — so an abort on one tree (deadline, injected fault,
+// wedged engine) has k^(k-2)-1 natural strict fallbacks with different
+// proposal-order behavior. When every strict rung is exhausted, Algorithm 2's
+// weakened priority / lead-member model (§IV.D) is a principled degraded
+// mode: still a spanning-tree binding, but grown bitonically from the
+// highest-priority gender. The report records which rung produced the answer
+// so callers can distinguish a first-try success from a degraded one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "resilience/control.hpp"
+
+namespace kstable::resilience {
+
+/// Ladder rung that produced (or last attempted) the matching.
+enum class Rung : std::uint8_t {
+  strict_tree,        ///< Algorithm 1 on a candidate spanning tree
+  degraded_priority,  ///< Algorithm 2 (weakened priority model, last rung)
+  none                ///< every rung failed
+};
+
+[[nodiscard]] constexpr const char* to_string(Rung rung) noexcept {
+  switch (rung) {
+    case Rung::strict_tree: return "strict-tree";
+    case Rung::degraded_priority: return "degraded-priority";
+    case Rung::none: return "none";
+  }
+  return "unknown";
+}
+
+/// One ladder attempt: which rung, which tree, how it ended.
+struct AttemptLog {
+  Rung rung = Rung::strict_tree;
+  std::vector<GenderEdge> tree_edges;  ///< binding tree of this attempt
+  SolveStatus status;
+};
+
+struct FallbackOptions {
+  /// Budget for the first attempt; later attempts scale it by backoff.
+  Budget per_attempt{};
+  /// Per-attempt budget multiplier (>= 1): each retry gets backoff× the
+  /// previous attempt's wall/proposal budget.
+  double backoff = 1.0;
+  /// Strict rungs (distinct spanning trees) to try before degrading; capped
+  /// by Cayley's k^(k-2) distinct trees.
+  std::int32_t max_tree_attempts = 4;
+  /// Seed of the deterministic candidate-tree stream (attempt 0 is always
+  /// the path tree; later attempts draw distinct Prüfer-random trees).
+  std::uint64_t tree_seed = 0x5eed;
+  /// Shared across all attempts; cancelling stops the whole ladder.
+  CancellationToken token{};
+  /// Engine/pool for the per-edge GS runs (control is owned by the ladder).
+  core::GsEngine engine = core::GsEngine::queue;
+  ThreadPool* pool = nullptr;
+  /// Permit the Algorithm 2 last rung. When false the ladder is strict-only.
+  bool allow_degraded = true;
+};
+
+struct FallbackReport {
+  bool succeeded = false;
+  /// Rung that produced the matching (none if !succeeded).
+  Rung rung = Rung::none;
+  /// Status of the final attempt (the successful one, or the last failure).
+  SolveStatus status;
+  /// Binding result of the successful attempt; unset if !succeeded.
+  std::optional<core::BindingResult> result;
+  /// Every attempt in order, including the successful one.
+  std::vector<AttemptLog> attempts;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return rung == Rung::degraded_priority;
+  }
+  [[nodiscard]] const KaryMatching& matching() const {
+    return result->matching();
+  }
+};
+
+/// Runs the ladder: up to max_tree_attempts strict Algorithm 1 attempts on
+/// distinct spanning trees with per-attempt budgets (ExecutionAborted from
+/// one attempt moves to the next; a cancellation stops the ladder), then one
+/// Algorithm 2 attempt as the degraded last rung. Never throws for abort-
+/// class failures — the report carries the outcome. ContractViolation (a
+/// programming error) still propagates.
+FallbackReport solve_with_fallback(const KPartiteInstance& inst,
+                                   const FallbackOptions& options = {});
+
+}  // namespace kstable::resilience

@@ -80,11 +80,14 @@ RoommatesInstance to_roommates(const KPartiteInstance& inst, Linearization lin,
 }
 
 KPartiteBinaryResult solve_kpartite_binary(const KPartiteInstance& inst,
-                                           Linearization lin, Rng* rng) {
+                                           Linearization lin, Rng* rng,
+                                           resilience::ExecControl* control) {
   KPartiteBinaryResult result;
   result.encoding = {inst.genders(), inst.per_gender()};
   const RoommatesInstance rm_inst = to_roommates(inst, lin, rng);
-  result.detail = solve(rm_inst);
+  SolveOptions solve_options;
+  solve_options.control = control;
+  result.detail = solve(rm_inst, solve_options);
   result.has_stable = result.detail.has_stable;
   if (result.has_stable) result.partner = result.detail.match;
   return result;

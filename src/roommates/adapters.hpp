@@ -58,9 +58,12 @@ struct KPartiteBinaryResult {
 };
 
 /// Detects/finds a stable binary matching of `inst` (paper §III.B process).
+/// `control` (optional) is forwarded to the roommates solver.
 KPartiteBinaryResult solve_kpartite_binary(const KPartiteInstance& inst,
                                            Linearization lin,
-                                           Rng* rng = nullptr);
+                                           Rng* rng = nullptr,
+                                           resilience::ExecControl* control =
+                                               nullptr);
 
 /// --- Fair SMP (§III.B end) -------------------------------------------------
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "resilience/errors.hpp"
+#include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
 
 namespace kstable::rm::io {
@@ -37,22 +39,23 @@ void save(const RoommatesInstance& inst, std::ostream& os) {
 }
 
 RoommatesInstance load(std::istream& is) {
+  KSTABLE_FAULT_POINT("io/load");
   auto header = next_line(is);
-  KSTABLE_REQUIRE(header.has_value(), "empty roommates stream");
+  KSTABLE_PARSE_REQUIRE(header.has_value(), "empty roommates stream");
   {
     std::istringstream hs(*header);
     std::string magic, version;
     hs >> magic >> version;
-    KSTABLE_REQUIRE(magic == kMagic && version == kVersion,
+    KSTABLE_PARSE_REQUIRE(magic == kMagic && version == kVersion,
                     "bad header '" << *header << "'");
   }
   auto dims = next_line(is);
-  KSTABLE_REQUIRE(dims.has_value(), "missing size line");
+  KSTABLE_PARSE_REQUIRE(dims.has_value(), "missing size line");
   Person n = 0;
   {
     std::istringstream ds(*dims);
     ds >> n;
-    KSTABLE_REQUIRE(!ds.fail() && n >= 1, "bad size line '" << *dims << "'");
+    KSTABLE_PARSE_REQUIRE(!ds.fail() && n >= 1, "bad size line '" << *dims << "'");
   }
   std::vector<std::vector<Person>> lists(static_cast<std::size_t>(n));
   std::vector<bool> seen(static_cast<std::size_t>(n), false);
@@ -61,20 +64,26 @@ RoommatesInstance load(std::istream& is) {
     std::string tag, colon;
     Person p = 0;
     ls >> tag >> p >> colon;
-    KSTABLE_REQUIRE(!ls.fail() && tag == "list" && colon == ":",
+    KSTABLE_PARSE_REQUIRE(!ls.fail() && tag == "list" && colon == ":",
                     "bad list line '" << *line << "'");
-    KSTABLE_REQUIRE(p >= 0 && p < n, "person " << p << " out of range");
-    KSTABLE_REQUIRE(!seen[static_cast<std::size_t>(p)],
+    KSTABLE_PARSE_REQUIRE(p >= 0 && p < n, "person " << p << " out of range");
+    KSTABLE_PARSE_REQUIRE(!seen[static_cast<std::size_t>(p)],
                     "duplicate list for person " << p);
     seen[static_cast<std::size_t>(p)] = true;
     Person q = 0;
     while (ls >> q) lists[static_cast<std::size_t>(p)].push_back(q);
   }
   for (Person p = 0; p < n; ++p) {
-    KSTABLE_REQUIRE(seen[static_cast<std::size_t>(p)],
+    KSTABLE_PARSE_REQUIRE(seen[static_cast<std::size_t>(p)],
                     "missing list for person " << p);
   }
-  return RoommatesInstance(std::move(lists));
+  try {
+    return RoommatesInstance(std::move(lists));
+  } catch (const ContractViolation& e) {
+    // Constructor validation failure (bad entry, self-reference, duplicate):
+    // malformed input, not a programming error.
+    throw ParseError(std::string("parse error: ") + e.what());
+  }
 }
 
 void save_file(const RoommatesInstance& inst, const std::string& path) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace kstable::rm {
 
@@ -58,6 +60,7 @@ bool run_phase2(ReductionTable& table, const SolveOptions& options,
     // Extend the chain x -> last(second(x)) until a person repeats.
     Person repeat = -1;
     for (;;) {
+      if (options.control != nullptr) options.control->charge();
       const Person tail = chain.back();
       const Person via = table.second(tail);
       KSTABLE_ASSERT(via >= 0);
@@ -73,6 +76,8 @@ bool run_phase2(ReductionTable& table, const SolveOptions& options,
     }
 
     // The cycle runs from the first occurrence of `repeat` to the chain tail.
+    KSTABLE_FAULT_POINT("rm/rotation");
+    if (options.control != nullptr) options.control->check_now();
     const auto cycle_begin = static_cast<std::size_t>(
         std::find(chain.begin(), chain.end(), repeat) - chain.begin());
     Rotation rotation;
@@ -120,7 +125,7 @@ bool run_phase2(ReductionTable& table, const SolveOptions& options,
 }  // namespace
 
 bool run_phase1(ReductionTable& table, std::int64_t& proposals,
-                Person& failed_person) {
+                Person& failed_person, resilience::ExecControl* control) {
   const RoommatesInstance& inst = table.instance();
   const Person n = inst.size();
 
@@ -138,6 +143,7 @@ bool run_phase1(ReductionTable& table, std::int64_t& proposals,
       }
       const Person y = table.first(x);
       ++proposals;
+      if (control != nullptr) control->charge();
       const Person z = holder[static_cast<std::size_t>(y)];
       if (z == -1) {
         holder[static_cast<std::size_t>(y)] = x;
@@ -170,17 +176,34 @@ bool run_phase1(ReductionTable& table, std::int64_t& proposals,
   return true;
 }
 
+namespace {
+
+/// Fills the structured completion record from the classic result fields.
+void finish_status(RoommatesResult& result, const WallTimer& timer) {
+  result.status.outcome = result.has_stable
+                              ? resilience::SolveOutcome::ok
+                              : resilience::SolveOutcome::no_stable;
+  result.status.proposals = result.phase1_proposals;
+  result.status.wall_ms = timer.millis();
+}
+
+}  // namespace
+
 RoommatesResult solve(const RoommatesInstance& instance,
                       const SolveOptions& options) {
   RoommatesResult result;
   ReductionTable table(instance);
+  WallTimer timer;
 
-  if (!run_phase1(table, result.phase1_proposals, result.failed_person)) {
+  if (!run_phase1(table, result.phase1_proposals, result.failed_person,
+                  options.control)) {
     result.pair_deletions = table.deletions();
+    finish_status(result, timer);
     return result;
   }
   if (!run_phase2(table, options, result)) {
     result.pair_deletions = table.deletions();
+    finish_status(result, timer);
     return result;
   }
 
@@ -202,6 +225,7 @@ RoommatesResult solve(const RoommatesInstance& instance,
   result.pair_deletions = table.deletions();
   KSTABLE_ENSURE(is_stable_matching(instance, result.match),
                  "solver produced an unstable matching");
+  finish_status(result, timer);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "resilience/control.hpp"
 #include "roommates/table.hpp"
 
 namespace kstable::rm {
@@ -35,6 +36,11 @@ struct SolveOptions {
 
   /// Record every eliminated rotation in RoommatesResult::rotation_log.
   bool record_rotations = false;
+
+  /// Optional deadline/budget/cancellation control: charged per phase-1
+  /// proposal and per rotation step, checked before every rotation
+  /// elimination. Throws ExecutionAborted on expiry. Null = run to the end.
+  resilience::ExecControl* control = nullptr;
 };
 
 struct RoommatesResult {
@@ -49,6 +55,8 @@ struct RoommatesResult {
   std::int64_t rotations_eliminated = 0;
   std::int64_t pair_deletions = 0;    ///< total bidirectional deletions
   std::vector<Rotation> rotation_log; ///< filled if options.record_rotations
+  /// Structured completion record: ok or no_stable (aborts throw instead).
+  resilience::SolveStatus status;
 };
 
 /// Runs both phases and extracts the matching (or reports non-existence).
@@ -57,9 +65,10 @@ RoommatesResult solve(const RoommatesInstance& instance,
 
 /// Runs phase 1 only on an externally owned table; returns false iff some
 /// list emptied (no stable matching). Exposed for tests and the E10
-/// phase-cost experiment.
+/// phase-cost experiment. `control` (optional) is charged per proposal.
 bool run_phase1(ReductionTable& table, std::int64_t& proposals,
-                Person& failed_person);
+                Person& failed_person,
+                resilience::ExecControl* control = nullptr);
 
 /// True iff `match` is a perfect stable matching of `instance`: an involution
 /// without fixed points, every pair mutually acceptable, and no blocking pair

@@ -15,6 +15,9 @@
 #include "parallel/thread_pool.hpp"
 #include "prefs/generators.hpp"
 #include "prefs/io.hpp"
+#include "prefs/matching_io.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/fault_injection.hpp"
 #include "roommates/examples.hpp"
 #include "roommates/io.hpp"
 #include "util/check.hpp"
@@ -148,6 +151,116 @@ TEST(ThreadPool, ManyConcurrentBindingsShareOnePool) {
         inst, trees::path(4), core::ExecutionMode::crew_full, pool);
     EXPECT_EQ(repeat.binding.matching(), reference.binding.matching());
   }
+}
+
+TEST(Fuzz, MutatedKaryMatchingsRoundTripOrThrow) {
+  Rng rng(2006);
+  const auto inst = gen::uniform(3, 4, rng);
+  // A valid matching to serialize: identity families.
+  const KaryMatching matching(3, 4, [] {
+    std::vector<Index> fams;
+    for (Index t = 0; t < 4; ++t) {
+      for (Gender g = 0; g < 3; ++g) fams.push_back(t);
+    }
+    return fams;
+  }());
+  const auto text = io::to_string(matching);
+  int threw = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    // Deeper mutations than the instance fuzz: up to 8 edits.
+    const auto mutated = mutate(text, rng, 1 + static_cast<int>(rng.below(8)));
+    try {
+      const auto loaded = io::kary_from_string(mutated);
+      // Constructor validated it; the serialized form must be a fixpoint.
+      EXPECT_EQ(io::kary_from_string(io::to_string(loaded)), loaded);
+    } catch (const ContractViolation&) {
+      ++threw;  // includes ParseError
+    }
+  }
+  EXPECT_GT(threw, trials / 2) << "mutations should usually be rejected";
+}
+
+TEST(Fuzz, MutatedBinaryMatchingsRoundTripOrThrow) {
+  const BinaryMatchingKP matching(2, 2, {2, 3, 0, 1});
+  const auto text = io::to_string(matching);
+  Rng rng(2007);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto mutated = mutate(text, rng, 1 + static_cast<int>(rng.below(8)));
+    try {
+      const auto loaded = io::binary_from_string(mutated);
+      const auto reloaded = io::binary_from_string(io::to_string(loaded));
+      EXPECT_EQ(reloaded.raw(), loaded.raw());
+    } catch (const ContractViolation&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST(Fuzz, ParseFailuresAreParseErrorsNotBareViolations) {
+  // The taxonomy contract: malformed *input* surfaces as ParseError, so
+  // callers can distinguish bad data from programming errors.
+  EXPECT_THROW(io::from_string("garbage"), ParseError);
+  EXPECT_THROW(rm::io::from_string("garbage"), ParseError);
+  EXPECT_THROW(io::kary_from_string("garbage"), ParseError);
+  EXPECT_THROW(io::binary_from_string("garbage"), ParseError);
+}
+
+TEST(ThreadPool, SubmitPropagatesTaskExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 41 + 1; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("task blew"); });
+  EXPECT_EQ(ok.get(), 42);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task: later work still runs.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor joins after the queue drains; nothing is dropped.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ForEachIndexZeroIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.for_each_index(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, InjectedTaskFaultSurfacesInFuture) {
+  ThreadPool pool(2);
+  resilience::ScopedFault fault("thread_pool/task");
+  auto f = pool.submit([] { return 1; });
+  EXPECT_THROW(f.get(), InjectedFault);
+  EXPECT_EQ(fault.fires(), 1);
+  // max_fires=1 reached: the next task runs clean.
+  EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, InjectedForEachFaultRethrowsWithoutHanging) {
+  ThreadPool pool(4);
+  resilience::ScopedFault fault("thread_pool/for_each_index");
+  std::atomic<int> ran{0};
+  // The injected fault must propagate to the caller AFTER the completion
+  // barrier releases — a hang here is the bug this test guards against.
+  EXPECT_THROW(pool.for_each_index(
+                   64,
+                   [&ran](std::size_t) {
+                     ran.fetch_add(1, std::memory_order_relaxed);
+                   }),
+               InjectedFault);
+  EXPECT_EQ(ran.load(), 63);  // exactly one task was replaced by the fault
+  EXPECT_EQ(fault.fires(), 1);
 }
 
 TEST(Rng, StreamsSurviveHeavyForking) {
