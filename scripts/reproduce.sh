@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Reproduces everything: build, full test suite, every experiment E1..E16.
-# Outputs land in test_output.txt and bench_output.txt at the repo root.
+# Reproduces everything: build, full test suite, every experiment E1..E17.
+# Outputs land in test_output.txt and bench_output.txt at the repo root,
+# plus one machine-readable BENCH_<exp>.json per benchmark binary (google
+# benchmark's JSON reporter; the human console report is unaffected).
 #
 # Fail-fast discipline: results are written to *.partial files and only
 # renamed into place after the producing step succeeds, so an aborted run can
@@ -20,11 +22,18 @@ ctest --test-dir build 2>&1 | tee test_output.txt.partial
 mv test_output.txt.partial test_output.txt
 
 # Each benchmark binary must succeed; a crashing or aborted experiment kills
-# the run instead of silently truncating bench_output.txt.
+# the run instead of silently truncating bench_output.txt. Every binary also
+# writes its registered-benchmark results (counters included) to
+# BENCH_<exp>.json via --benchmark_out, e.g. bench_e15_tree_ablation ->
+# BENCH_e15.json, under the same .partial-then-rename discipline.
 : > bench_output.txt.partial
 for b in build/bench/bench_*; do
+  exp="$(basename "$b" | sed -E 's/^bench_(e[0-9]+).*/\1/')"
+  json="BENCH_${exp}.json"
   echo "== $b ==" | tee -a bench_output.txt.partial
-  "$b" 2>&1 | tee -a bench_output.txt.partial
+  "$b" --benchmark_out="${json}.partial" --benchmark_out_format=json \
+    2>&1 | tee -a bench_output.txt.partial
+  mv "${json}.partial" "$json"
 done
 mv bench_output.txt.partial bench_output.txt
 echo "reproduce.sh: all experiments completed"

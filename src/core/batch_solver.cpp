@@ -1,0 +1,63 @@
+#include "core/batch_solver.hpp"
+
+#include <utility>
+
+#include "core/gs_cache.hpp"
+#include "core/tree_selection.hpp"
+#include "util/check.hpp"
+
+namespace kstable::core {
+
+std::vector<BatchItemResult> BatchSolver::solve(
+    std::span<const KPartiteInstance> instances, const BatchOptions& options) {
+  KSTABLE_REQUIRE(options.engine != GsEngine::parallel,
+                  "BatchSolver parallelizes across items; use GsEngine::queue "
+                  "or GsEngine::rounds per item");
+  KSTABLE_REQUIRE(options.per_item_budgets.empty() ||
+                      options.per_item_budgets.size() == instances.size(),
+                  "per_item_budgets has " << options.per_item_budgets.size()
+                                          << " entries for "
+                                          << instances.size() << " instances");
+
+  std::vector<BatchItemResult> results(instances.size());
+  pool_.for_each_index(instances.size(), [&](std::size_t idx) {
+    const KPartiteInstance& inst = instances[idx];
+    BatchItemResult& out = results[idx];
+    const resilience::Budget budget = options.per_item_budgets.empty()
+                                          ? options.per_item
+                                          : options.per_item_budgets[idx];
+    resilience::ExecControl control(budget, options.token);
+    // One workspace per pool worker, reused across items and batches: after
+    // the largest instance warms it, the GS hot path allocates nothing.
+    thread_local gs::GsWorkspace workspace;
+    GsEdgeCache cache(inst.genders());
+
+    BindingOptions bopts;
+    bopts.engine = options.engine;
+    bopts.control = &control;
+    bopts.workspace = &workspace;
+    bopts.cache = options.use_cache ? &cache : nullptr;
+    try {
+      BindingResult result =
+          options.tree == BatchTree::cost_aware
+              ? cost_aware_binding(inst, TreeObjective::min_cost, bopts)
+              : iterative_binding(inst, trees::path(inst.genders()), bopts);
+      out.status = result.status;
+      out.total_proposals = result.total_proposals;
+      out.matching = std::move(result.equivalence.matching);
+    } catch (const ExecutionAborted& e) {
+      out.status = control.aborted_status(e.reason(), e.what());
+      out.total_proposals = control.spent();
+    }
+    if (options.use_cache) {
+      // The per-item cache is fresh, so its stats cover the whole item —
+      // including cost-aware probe replays and edges solved before an abort.
+      const auto stats = cache.stats();
+      out.cache_hits = stats.hits;
+      out.cache_misses = stats.misses;
+    }
+  });
+  return results;
+}
+
+}  // namespace kstable::core

@@ -1,5 +1,8 @@
 #include "core/binding.hpp"
 
+#include <utility>
+
+#include "core/gs_cache.hpp"
 #include "gs/parallel_gs.hpp"
 #include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
@@ -7,15 +10,32 @@
 
 namespace kstable::core {
 
-gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
-                         const BindingOptions& options) {
+namespace {
+
+/// Runs the selected engine, no cache involvement.
+gs::GsResult run_engine(const KPartiteInstance& inst, GenderEdge edge,
+                        const BindingOptions& options) {
   gs::GsOptions gs_options;
   gs_options.control = options.control;
+  gs_options.trace = options.trace;
+  gs::GsResult result;
   switch (options.engine) {
     case GsEngine::queue:
-      return gs::gale_shapley_queue(inst, edge.a, edge.b, gs_options);
+      if (options.workspace != nullptr) {
+        gs::gale_shapley_queue(inst, edge.a, edge.b, gs_options,
+                               *options.workspace, result);
+      } else {
+        result = gs::gale_shapley_queue(inst, edge.a, edge.b, gs_options);
+      }
+      return result;
     case GsEngine::rounds:
-      return gs::gale_shapley_rounds(inst, edge.a, edge.b, gs_options);
+      if (options.workspace != nullptr) {
+        gs::gale_shapley_rounds(inst, edge.a, edge.b, gs_options,
+                                *options.workspace, result);
+      } else {
+        result = gs::gale_shapley_rounds(inst, edge.a, edge.b, gs_options);
+      }
+      return result;
     case GsEngine::parallel:
       KSTABLE_REQUIRE(options.pool != nullptr,
                       "GsEngine::parallel needs a ThreadPool");
@@ -24,6 +44,25 @@ gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
   }
   KSTABLE_REQUIRE(false, "unknown GS engine");
   return {};
+}
+
+}  // namespace
+
+gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
+                         const BindingOptions& options, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (options.cache == nullptr) return run_engine(inst, edge, options);
+  KSTABLE_REQUIRE(options.cache->genders() == inst.genders(),
+                  "cache built for k=" << options.cache->genders()
+                                       << ", instance has k="
+                                       << inst.genders());
+  if (const gs::GsResult* hit = options.cache->find(edge, options.engine)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return *hit;
+  }
+  gs::GsResult result = run_engine(inst, edge, options);
+  options.cache->insert(edge, options.engine, result);
+  return result;
 }
 
 BindingResult bind_structure(const KPartiteInstance& inst,
@@ -38,8 +77,14 @@ BindingResult bind_structure(const KPartiteInstance& inst,
   for (const auto& edge : structure.edges()) {
     KSTABLE_FAULT_POINT("core/binding_edge");
     if (options.control != nullptr) options.control->check_now();
-    result.edge_results.push_back(run_binding(inst, edge, options));
-    result.total_proposals += result.edge_results.back().proposals;
+    bool hit = false;
+    result.edge_results.push_back(run_binding(inst, edge, options, &hit));
+    const auto& edge_result = result.edge_results.back();
+    result.total_proposals += edge_result.proposals;
+    if (!hit) result.executed_proposals += edge_result.proposals;
+    if (options.cache != nullptr) {
+      hit ? ++result.cache_hits : ++result.cache_misses;
+    }
   }
   result.equivalence = derive_families(inst, structure, result.edge_results);
   result.status.proposals = result.total_proposals;
@@ -97,7 +142,14 @@ StrengthenResult strengthen_bindings(const KPartiteInstance& inst,
     BindingStructure trial = accepted;
     trial.add_edge(edge);
     auto trial_results = edge_results;
-    trial_results.push_back(run_binding(inst, edge, options));
+    bool hit = false;
+    trial_results.push_back(run_binding(inst, edge, options, &hit));
+    if (!hit) {
+      result.binding.executed_proposals += trial_results.back().proposals;
+    }
+    if (options.cache != nullptr) {
+      hit ? ++result.binding.cache_hits : ++result.binding.cache_misses;
+    }
     const auto report = derive_families(inst, trial, trial_results);
     if (report.consistent) {
       accepted = std::move(trial);

@@ -29,6 +29,8 @@ namespace kstable::core {
 /// Which Gale-Shapley engine runs each binary binding.
 enum class GsEngine { queue, rounds, parallel };
 
+class GsEdgeCache;  // core/gs_cache.hpp
+
 struct BindingOptions {
   GsEngine engine = GsEngine::queue;
   /// Required when engine == GsEngine::parallel.
@@ -36,6 +38,20 @@ struct BindingOptions {
   /// Optional deadline/budget/cancellation control, threaded into every
   /// per-edge GS run and checked between edges. Throws ExecutionAborted.
   resilience::ExecControl* control = nullptr;
+  /// Optional per-instance memo of per-edge GS outcomes (core/gs_cache.hpp).
+  /// Must be built for THIS instance's gender count and never shared across
+  /// instances. Cache hits skip the GS run entirely — including its
+  /// ExecControl charges — so multi-tree retries get already-solved edges
+  /// for free. Semantically invisible: matchings are bitwise-identical with
+  /// and without a cache.
+  GsEdgeCache* cache = nullptr;
+  /// Optional scratch buffers for the sequential engines (gs::GsWorkspace);
+  /// a warm workspace makes every per-edge GS run allocation-free. Owned by
+  /// the calling thread; ignored by GsEngine::parallel.
+  gs::GsWorkspace* workspace = nullptr;
+  /// If non-null, every per-edge proposal event is appended (small instances
+  /// only). Cache hits replay no events — only freshly computed edges trace.
+  std::vector<gs::ProposalEvent>* trace = nullptr;
 };
 
 /// Result of binding a structure (tree, forest, or cyclic edge set).
@@ -44,8 +60,17 @@ struct BindingResult {
   std::vector<gs::GsResult> edge_results;
   /// Equivalence-class outcome (consistency, assembled matching).
   EquivalenceReport equivalence;
-  /// Accumulated proposals over all bindings (Theorem 3's unit).
+  /// Accumulated proposals over all bindings (Theorem 3's unit). Cached
+  /// edges contribute the proposals of their original computation, so this
+  /// stays the semantic per-tree quantity the Theorem 3 bound is about.
   std::int64_t total_proposals = 0;
+  /// Proposals actually executed by THIS call — cache hits contribute
+  /// nothing. Equals total_proposals when no cache is attached; the E15
+  /// cache ablation accumulates this across trees.
+  std::int64_t executed_proposals = 0;
+  /// Edge-cache outcomes for this call's edges (both 0 without a cache).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
   /// How the solve ended (always SolveOutcome::ok when the call returns —
   /// aborts throw — but carried so ladder/serving layers report uniformly).
   resilience::SolveStatus status;
@@ -59,9 +84,12 @@ struct BindingResult {
 };
 
 /// Runs one binary binding GS(edge.a proposes, edge.b responds) with the
-/// selected engine.
+/// selected engine. With options.cache attached, a memoized result is
+/// returned without re-running GS; `cache_hit` (if non-null) reports whether
+/// that happened.
 gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
-                         const BindingOptions& options);
+                         const BindingOptions& options,
+                         bool* cache_hit = nullptr);
 
 /// Algorithm 1: iterative binding over a spanning tree. The tree is REQUIRED
 /// to be spanning (use bind_structure for forests/cycles); the result always

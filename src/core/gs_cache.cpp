@@ -1,0 +1,70 @@
+#include "core/gs_cache.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace kstable::core {
+
+GsEdgeCache::GsEdgeCache(Gender k) : k_(k) {
+  KSTABLE_REQUIRE(k >= 2, "GsEdgeCache needs k >= 2, got " << k);
+  slots_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k) *
+                kEngineCount);
+}
+
+std::size_t GsEdgeCache::slot(GenderEdge edge, GsEngine engine) const {
+  KSTABLE_REQUIRE(edge.a >= 0 && edge.a < k_ && edge.b >= 0 && edge.b < k_ &&
+                      edge.a != edge.b,
+                  "edge (" << edge.a << ',' << edge.b
+                           << ") out of range for k=" << k_);
+  const auto e = static_cast<std::size_t>(engine);
+  KSTABLE_ASSERT(e < kEngineCount);
+  return (static_cast<std::size_t>(edge.a) * static_cast<std::size_t>(k_) +
+          static_cast<std::size_t>(edge.b)) *
+             kEngineCount +
+         e;
+}
+
+const gs::GsResult* GsEdgeCache::find(GenderEdge edge, GsEngine engine) {
+  const std::size_t s = slot(edge, engine);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slots_[s].has_value()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // Stable address: slots_ never grows and entries are never overwritten.
+      return &*slots_[s];
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+const gs::GsResult& GsEdgeCache::insert(GenderEdge edge, GsEngine engine,
+                                        gs::GsResult result) {
+  KSTABLE_REQUIRE(result.proposer_gender == edge.a &&
+                      result.responder_gender == edge.b,
+                  "result genders (" << result.proposer_gender << ','
+                                     << result.responder_gender
+                                     << ") do not match edge (" << edge.a << ','
+                                     << edge.b << ')');
+  const std::size_t s = slot(edge, engine);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!slots_[s].has_value()) slots_[s] = std::move(result);
+  return *slots_[s];
+}
+
+void GsEdgeCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : slots_) entry.reset();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t GsEdgeCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& entry : slots_) count += entry.has_value() ? 1 : 0;
+  return count;
+}
+
+}  // namespace kstable::core

@@ -1,0 +1,86 @@
+// GsEdgeCache: a per-instance memo of binary binding outcomes.
+//
+// Every spanning binding tree over k genders draws its edges from the same
+// k(k-1)/2 gender-pair set (2·C(k,2) = k(k-1) oriented edges), and a per-edge
+// GsResult is a pure function of (instance, oriented edge, engine): the
+// engines are deterministic and GS is confluent, so even the parallel engine
+// reproduces the sequential outcome bit for bit. Multi-tree drivers —
+// tree_selection probes, the E15 ablation sweep, solve_with_fallback's retry
+// ladder — therefore recompute identical matchings over and over. Memoizing
+// them collapses O(#trees·(k-1)) GS runs to at most k(k-1) per instance, and
+// the cache is semantically invisible: cached and uncached solves produce
+// bitwise-identical matchings (property-tested over all k^(k-2) trees).
+//
+// Key and invalidation rules:
+//   * The key is (proposer gender, responder gender, engine). Orientation
+//     matters — GS(a, b) is proposer-optimal for a, GS(b, a) for b.
+//   * A cache is bound to ONE KPartiteInstance for its whole lifetime. It
+//     holds no reference to the instance; the caller guarantees the pairing
+//     (new instance => new cache). There is no other invalidation:
+//     KPartiteInstance is immutable while solves run.
+//
+// Thread-safety: find/insert take an internal mutex (one lock per *edge
+// solve*, not per proposal — noise next to an O(n²) GS run); hit/miss
+// counters are relaxed atomics. Concurrent misses on one key may both
+// compute; the first insert wins, and determinism makes both results equal.
+// Entry addresses are stable (the slot table never grows), so pointers
+// returned by find() live as long as the cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "gs/gale_shapley.hpp"
+
+namespace kstable::core {
+
+class GsEdgeCache {
+ public:
+  /// Number of distinct GsEngine values (queue, rounds, parallel).
+  static constexpr std::size_t kEngineCount = 3;
+
+  /// Creates an empty cache for instances with `k` genders (k*(k-1)*3 slots).
+  explicit GsEdgeCache(Gender k);
+
+  /// Cached result of GS(edge.a proposes, edge.b responds) under `engine`,
+  /// or nullptr. Counts one hit or one miss.
+  [[nodiscard]] const gs::GsResult* find(GenderEdge edge, GsEngine engine);
+
+  /// Stores `result` for the key; first insert wins (a concurrent duplicate
+  /// is dropped). Returns the stored value.
+  const gs::GsResult& insert(GenderEdge edge, GsEngine engine,
+                             gs::GsResult result);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+  };
+  [[nodiscard]] Stats stats() const noexcept {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+  }
+
+  /// Drops every entry and zeroes the counters (the cache stays bound to the
+  /// same instance shape).
+  void clear();
+
+  [[nodiscard]] Gender genders() const noexcept { return k_; }
+
+  /// Entries currently stored (distinct (edge, engine) keys).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  [[nodiscard]] std::size_t slot(GenderEdge edge, GsEngine engine) const;
+
+  Gender k_;
+  mutable std::mutex mutex_;
+  std::vector<std::optional<gs::GsResult>> slots_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+};
+
+}  // namespace kstable::core

@@ -9,6 +9,8 @@
 //   core::iterative_binding     — Algorithm 1 (stable k-ary matching)
 //   core::priority_binding      — Algorithm 2 (weakened stability, §IV.D)
 //   core::execute_binding       — parallel binding (EREW/CREW schedules)
+//   core::GsEdgeCache           — per-instance memo of per-edge GS results
+//   core::BatchSolver           — many instances across the thread pool
 //   analysis::*                 — stability checkers, oracles, metrics
 //   resilience::*               — deadlines/cancellation (ExecControl), fault
 //                                 injection, and the tree-fallback solve ladder
@@ -20,10 +22,12 @@
 #include "analysis/oracle.hpp"
 #include "analysis/quorum.hpp"
 #include "analysis/stability.hpp"
+#include "core/batch_solver.hpp"
 #include "core/binding.hpp"
 #include "core/cyclic3dsm.hpp"
 #include "core/equivalence.hpp"
 #include "core/existence.hpp"
+#include "core/gs_cache.hpp"
 #include "core/oriented_binding.hpp"
 #include "core/parallel_binding.hpp"
 #include "core/priority_binding.hpp"

@@ -7,7 +7,8 @@
 
 namespace kstable::core {
 
-std::vector<PairProbe> probe_all_pairs(const KPartiteInstance& inst) {
+std::vector<PairProbe> probe_all_pairs(const KPartiteInstance& inst,
+                                       const BindingOptions& options) {
   const Gender k = inst.genders();
   std::vector<PairProbe> probes;
   probes.reserve(static_cast<std::size_t>(k) * static_cast<std::size_t>(k - 1) / 2);
@@ -15,7 +16,7 @@ std::vector<PairProbe> probe_all_pairs(const KPartiteInstance& inst) {
     for (Gender b = a + 1; b < k; ++b) {
       PairProbe probe;
       probe.edge = {a, b};
-      const auto result = gs::gale_shapley_queue(inst, a, b);
+      const auto result = run_binding(inst, probe.edge, options);
       probe.proposals = result.proposals;
       for (Index p = 0; p < inst.per_gender(); ++p) {
         const Index r = result.proposer_match[static_cast<std::size_t>(p)];
@@ -29,8 +30,9 @@ std::vector<PairProbe> probe_all_pairs(const KPartiteInstance& inst) {
 }
 
 BindingStructure select_tree(const KPartiteInstance& inst,
-                             TreeObjective objective) {
-  auto probes = probe_all_pairs(inst);
+                             TreeObjective objective,
+                             const BindingOptions& options) {
+  auto probes = probe_all_pairs(inst, options);
   std::sort(probes.begin(), probes.end(),
             [objective](const PairProbe& x, const PairProbe& y) {
               return objective == TreeObjective::min_cost ? x.cost < y.cost
@@ -49,8 +51,10 @@ BindingStructure select_tree(const KPartiteInstance& inst,
 }
 
 BindingResult cost_aware_binding(const KPartiteInstance& inst,
-                                 TreeObjective objective) {
-  return iterative_binding(inst, select_tree(inst, objective));
+                                 TreeObjective objective,
+                                 const BindingOptions& options) {
+  return iterative_binding(inst, select_tree(inst, objective, options),
+                           options);
 }
 
 }  // namespace kstable::core

@@ -27,7 +27,11 @@ struct PairProbe {
 };
 
 /// Runs GS on every unordered gender pair and scores it. O(k² n log n) avg.
-std::vector<PairProbe> probe_all_pairs(const KPartiteInstance& inst);
+/// With options.cache attached, the k(k-1)/2 probe matchings are memoized —
+/// the subsequent iterative_binding along the selected tree replays its
+/// edges as cache hits instead of re-running GS.
+std::vector<PairProbe> probe_all_pairs(const KPartiteInstance& inst,
+                                       const BindingOptions& options = {});
 
 enum class TreeObjective {
   min_cost,  ///< Kruskal minimum spanning tree over probe costs
@@ -36,10 +40,13 @@ enum class TreeObjective {
 
 /// Builds the spanning tree optimizing `objective` over the probe costs.
 BindingStructure select_tree(const KPartiteInstance& inst,
-                             TreeObjective objective);
+                             TreeObjective objective,
+                             const BindingOptions& options = {});
 
-/// Convenience: select_tree + iterative_binding.
+/// Convenience: select_tree + iterative_binding (one probe pass when
+/// options.cache is set, instead of probes + fresh per-edge GS runs).
 BindingResult cost_aware_binding(const KPartiteInstance& inst,
-                                 TreeObjective objective = TreeObjective::min_cost);
+                                 TreeObjective objective = TreeObjective::min_cost,
+                                 const BindingOptions& options = {});
 
 }  // namespace kstable::core

@@ -31,45 +31,72 @@ void finish(const KPartiteInstance& inst, GsResult& result) {
   }
 }
 
-}  // namespace
-
-GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
-                            const GsOptions& options) {
-  check_genders(inst, i, j);
-  const Index n = inst.per_gender();
-  GsResult result;
+/// Resets `result` for a fresh (i, j) solve, reusing vector capacity.
+void reset_result(GsResult& result, Gender i, Gender j, Index n) {
   result.proposer_gender = i;
   result.responder_gender = j;
   result.proposer_match.assign(static_cast<std::size_t>(n), Index{-1});
   result.responder_match.assign(static_cast<std::size_t>(n), Index{-1});
+  result.proposals = 0;
+  result.rounds = 0;
+}
+
+/// Traced runs reserve the Theorem 3 per-binding bound (n² proposals) once,
+/// instead of growing the event vector geometrically mid-run.
+void reserve_trace(const GsOptions& options, Index n) {
+  if (options.trace != nullptr) {
+    options.trace->reserve(options.trace->size() +
+                           static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
+                        const GsOptions& options, GsWorkspace& workspace,
+                        GsResult& result) {
+  check_genders(inst, i, j);
+  const Index n = inst.per_gender();
+  reset_result(result, i, j, n);
+  reserve_trace(options, n);
 
   // next_choice[p]: rank of the next responder p will propose to.
-  std::vector<Index> next_choice(static_cast<std::size_t>(n), Index{0});
-  std::vector<Index> free_stack(static_cast<std::size_t>(n));
+  workspace.next_choice.assign(static_cast<std::size_t>(n), Index{0});
+  auto& free_stack = workspace.free_list;
+  free_stack.resize(static_cast<std::size_t>(n));
   for (Index p = 0; p < n; ++p) {
     free_stack[static_cast<std::size_t>(p)] = n - 1 - p;  // pop in index order
   }
 
+  Index* const proposer_match = result.proposer_match.data();
+  Index* const responder_match = result.responder_match.data();
+  Index* const next_choice = workspace.next_choice.data();
+
   while (!free_stack.empty()) {
     const Index p = free_stack.back();
     free_stack.pop_back();
-    const auto list = inst.pref_list({i, p}, j);
+    const auto list = inst.pref_row({i, p}, j);
     KSTABLE_ASSERT(next_choice[static_cast<std::size_t>(p)] < n);
     const Index r = list[static_cast<std::size_t>(
         next_choice[static_cast<std::size_t>(p)]++)];
     ++result.proposals;
     if (options.control != nullptr) options.control->charge();
 
-    const Index holder = result.responder_match[static_cast<std::size_t>(r)];
+    const Index holder = responder_match[static_cast<std::size_t>(r)];
+    // Hoisted rank row of responder r over gender i: the accept/reject
+    // compare is two loads, no per-proposal list_base recomputation.
+    const auto ranks = inst.rank_row({j, r}, i);
     ProposalEvent event{p, r, false, -1};
     if (holder < 0) {
-      result.responder_match[static_cast<std::size_t>(r)] = p;
-      result.proposer_match[static_cast<std::size_t>(p)] = r;
+      responder_match[static_cast<std::size_t>(r)] = p;
+      proposer_match[static_cast<std::size_t>(p)] = r;
       event.accepted = true;
-    } else if (inst.prefers({j, r}, {i, p}, {i, holder})) {
-      result.responder_match[static_cast<std::size_t>(r)] = p;
-      result.proposer_match[static_cast<std::size_t>(p)] = r;
-      result.proposer_match[static_cast<std::size_t>(holder)] = -1;
+    } else if (ranks[static_cast<std::size_t>(p)] <
+               ranks[static_cast<std::size_t>(holder)]) {
+      responder_match[static_cast<std::size_t>(r)] = p;
+      proposer_match[static_cast<std::size_t>(p)] = r;
+      proposer_match[static_cast<std::size_t>(holder)] = -1;
       free_stack.push_back(holder);
       event.accepted = true;
       event.displaced = holder;
@@ -80,23 +107,35 @@ GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
   }
   result.rounds = result.proposals;
   finish(inst, result);
+}
+
+GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
+                            const GsOptions& options) {
+  GsWorkspace workspace;
+  GsResult result;
+  gale_shapley_queue(inst, i, j, options, workspace, result);
   return result;
 }
 
-GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
-                             const GsOptions& options) {
+void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
+                         const GsOptions& options, GsWorkspace& workspace,
+                         GsResult& result) {
   check_genders(inst, i, j);
   const Index n = inst.per_gender();
-  GsResult result;
-  result.proposer_gender = i;
-  result.responder_gender = j;
-  result.proposer_match.assign(static_cast<std::size_t>(n), Index{-1});
-  result.responder_match.assign(static_cast<std::size_t>(n), Index{-1});
+  reset_result(result, i, j, n);
+  reserve_trace(options, n);
 
-  std::vector<Index> next_choice(static_cast<std::size_t>(n), Index{0});
-  std::vector<Index> free_list(static_cast<std::size_t>(n));
+  workspace.next_choice.assign(static_cast<std::size_t>(n), Index{0});
+  auto& free_list = workspace.free_list;
+  free_list.resize(static_cast<std::size_t>(n));
   for (Index p = 0; p < n; ++p) free_list[static_cast<std::size_t>(p)] = p;
-  std::vector<Index> still_free;
+  auto& still_free = workspace.still_free;
+  still_free.clear();
+  still_free.reserve(static_cast<std::size_t>(n));
+
+  Index* const proposer_match = result.proposer_match.data();
+  Index* const responder_match = result.responder_match.data();
+  Index* const next_choice = workspace.next_choice.data();
 
   while (!free_list.empty()) {
     ++result.rounds;
@@ -108,22 +147,25 @@ GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
     // Phase 1 of the round: every unengaged proposer proposes to the
     // most-preferred responder it has not yet proposed to (§II.A verbatim).
     for (const Index p : free_list) {
-      const auto list = inst.pref_list({i, p}, j);
+      const auto list = inst.pref_row({i, p}, j);
       const Index r = list[static_cast<std::size_t>(
           next_choice[static_cast<std::size_t>(p)]++)];
       ++result.proposals;
       // Phase 2 folded in: the responder replies "maybe" only to the best
-      // suitor seen so far (including its current provisional partner).
-      const Index holder = result.responder_match[static_cast<std::size_t>(r)];
+      // suitor seen so far (including its current provisional partner); the
+      // hoisted rank row makes that compare two loads.
+      const Index holder = responder_match[static_cast<std::size_t>(r)];
+      const auto ranks = inst.rank_row({j, r}, i);
       ProposalEvent event{p, r, false, -1};
       if (holder < 0) {
-        result.responder_match[static_cast<std::size_t>(r)] = p;
-        result.proposer_match[static_cast<std::size_t>(p)] = r;
+        responder_match[static_cast<std::size_t>(r)] = p;
+        proposer_match[static_cast<std::size_t>(p)] = r;
         event.accepted = true;
-      } else if (inst.prefers({j, r}, {i, p}, {i, holder})) {
-        result.responder_match[static_cast<std::size_t>(r)] = p;
-        result.proposer_match[static_cast<std::size_t>(p)] = r;
-        result.proposer_match[static_cast<std::size_t>(holder)] = -1;
+      } else if (ranks[static_cast<std::size_t>(p)] <
+                 ranks[static_cast<std::size_t>(holder)]) {
+        responder_match[static_cast<std::size_t>(r)] = p;
+        proposer_match[static_cast<std::size_t>(p)] = r;
+        proposer_match[static_cast<std::size_t>(holder)] = -1;
         still_free.push_back(holder);
         event.accepted = true;
         event.displaced = holder;
@@ -135,6 +177,13 @@ GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
     free_list.swap(still_free);
   }
   finish(inst, result);
+}
+
+GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
+                             const GsOptions& options) {
+  GsWorkspace workspace;
+  GsResult result;
+  gale_shapley_rounds(inst, i, j, options, workspace, result);
   return result;
 }
 

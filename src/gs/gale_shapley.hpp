@@ -45,11 +45,44 @@ struct GsResult {
 
 struct GsOptions {
   /// If non-null, every proposal event is appended (small instances only).
+  /// Capacity for the Theorem 3 per-binding bound (n² events) is reserved up
+  /// front, so traced runs do not grow the vector geometrically.
   std::vector<ProposalEvent>* trace = nullptr;
   /// If non-null, charged one unit per proposal; throws ExecutionAborted on
   /// deadline/budget/cancel (resilience/control.hpp). Null = unlimited.
   resilience::ExecControl* control = nullptr;
 };
+
+/// Reusable scratch state for the sequential engines. The engines only ever
+/// .assign()/.resize() these buffers, so after one solve at size n ("warm-up")
+/// every later solve at size <= n reuses the capacity: combined with the
+/// into-style overloads below, a warm workspace + warm result makes
+/// gale_shapley_queue / gale_shapley_rounds perform zero heap allocations per
+/// solve (asserted by the allocation-counting test). A workspace belongs to
+/// one thread at a time; it carries no instance state and may be reused
+/// across instances, gender pairs, and engines freely.
+struct GsWorkspace {
+  std::vector<Index> next_choice;  ///< per-proposer next rank to try
+  std::vector<Index> free_list;    ///< free proposers (stack / current round)
+  std::vector<Index> still_free;   ///< rounds engine: next round's free list
+
+  /// Pre-grows every buffer to capacity `n` (optional; the first solve warms
+  /// the workspace as a side effect anyway).
+  void warm(Index n) {
+    const auto cap = static_cast<std::size_t>(n);
+    next_choice.reserve(cap);
+    free_list.reserve(cap);
+    still_free.reserve(cap);
+  }
+};
+
+/// Pre-grows a result's match arrays so an into-style solve at size <= n
+/// does not allocate.
+inline void warm_result(GsResult& result, Index n) {
+  const auto cap = static_cast<std::size_t>(n);
+  result.proposer_match.reserve(cap);
+  result.responder_match.reserve(cap);
+}
 
 /// Queue-based Gale-Shapley: proposers from gender `i` propose to gender `j`.
 GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
@@ -58,6 +91,16 @@ GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
 /// Round-based Gale-Shapley: all currently-free proposers propose each round.
 GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
                              const GsOptions& options = {});
+
+/// Into-style variants: identical outcomes, but all scratch state lives in
+/// `workspace` and the outcome overwrites `result` in place (capacity
+/// reused). Zero heap allocations once workspace and result are warm.
+void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
+                        const GsOptions& options, GsWorkspace& workspace,
+                        GsResult& result);
+void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
+                         const GsOptions& options, GsWorkspace& workspace,
+                         GsResult& result);
 
 /// True iff `result` is a stable matching of genders (i, j) under `inst`:
 /// perfect and with no blocking pair. (A cheaper special case of the

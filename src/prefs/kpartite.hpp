@@ -44,6 +44,21 @@ class KPartiteInstance {
   /// Rank of `other` in m's list for other.gender (0 = most preferred).
   [[nodiscard]] std::int32_t rank_of(MemberId m, MemberId other) const;
 
+  /// Unchecked row views for validated hot loops (the GS engines): one
+  /// list_base computation buys the whole row, so a responder's accept/reject
+  /// decision is two loads off rank_row and a compare. Callers must have
+  /// range-checked (m, g) up front (the engines validate the gender pair once
+  /// per solve); no per-call contract checks, no allocation.
+  [[nodiscard]] std::span<const Index> pref_row(MemberId m,
+                                                Gender g) const noexcept {
+    return {pref_.data() + list_base(m, g), static_cast<std::size_t>(n_)};
+  }
+  /// rank_row(m, g)[i] = rank of member (g, i) in m's list over gender g.
+  [[nodiscard]] std::span<const std::int32_t> rank_row(MemberId m,
+                                                       Gender g) const noexcept {
+    return {rank_.data() + list_base(m, g), static_cast<std::size_t>(n_)};
+  }
+
   /// True iff `m` strictly prefers `a` over `b`; a and b must belong to the
   /// same gender, different from m's.
   [[nodiscard]] bool prefers(MemberId m, MemberId a, MemberId b) const;

@@ -3,6 +3,7 @@
 #include <set>
 #include <utility>
 
+#include "core/gs_cache.hpp"
 #include "core/priority_binding.hpp"
 #include "graph/prufer.hpp"
 #include "util/check.hpp"
@@ -36,6 +37,20 @@ FallbackReport solve_with_fallback(const KPartiteInstance& inst,
   const Gender k = inst.genders();
 
   FallbackReport report;
+  // Cache counters are read as a delta off the cache's own stats so that
+  // hits inside *aborted* attempts (whose BindingResult is lost to the
+  // unwinding) are still accounted for.
+  const core::GsEdgeCache::Stats cache_before =
+      options.cache != nullptr ? options.cache->stats()
+                               : core::GsEdgeCache::Stats{};
+  const auto finalize = [&](FallbackReport& r) -> FallbackReport& {
+    if (options.cache != nullptr) {
+      const auto now = options.cache->stats();
+      r.cache_hits = now.hits - cache_before.hits;
+      r.cache_misses = now.misses - cache_before.misses;
+    }
+    return r;
+  };
   Rng tree_rng(options.tree_seed);
   // Distinct candidate trees, deduplicated by Prüfer code. cayley_count
   // saturates at INT64_MAX for large k, which is fine as an upper bound.
@@ -60,21 +75,26 @@ FallbackReport solve_with_fallback(const KPartiteInstance& inst,
     log.tree_edges = tree.edges();
     try {
       core::BindingOptions bopts{options.engine, options.pool, &control};
+      bopts.cache = options.cache;
       auto result = core::iterative_binding(inst, tree, bopts);
       log.status = result.status;
       report.attempts.push_back(std::move(log));
       report.succeeded = true;
       report.rung = Rung::strict_tree;
       report.status = result.status;
+      report.executed_proposals += result.executed_proposals;
       report.result = std::move(result);
-      return report;
+      return finalize(report);
     } catch (const ExecutionAborted& e) {
       log.status = abort_status(control, e);
       report.status = log.status;
+      // The charged units of the aborted attempt are the proposals it
+      // actually executed (cache hits are never charged).
+      report.executed_proposals += log.status.proposals;
       report.attempts.push_back(std::move(log));
       // A cancellation is a caller decision, not a per-tree failure: stop the
       // whole ladder instead of burning the remaining rungs.
-      if (e.reason() == AbortReason::cancelled) return report;
+      if (e.reason() == AbortReason::cancelled) return finalize(report);
       scale *= options.backoff;
     }
   }
@@ -86,6 +106,7 @@ FallbackReport solve_with_fallback(const KPartiteInstance& inst,
     try {
       core::PriorityBindingOptions popts;
       popts.binding = {options.engine, options.pool, &control};
+      popts.binding.cache = options.cache;
       auto pr = core::priority_binding(inst, popts);
       log.tree_edges = pr.tree.edges();
       log.status = pr.binding.status;
@@ -93,17 +114,19 @@ FallbackReport solve_with_fallback(const KPartiteInstance& inst,
       report.succeeded = true;
       report.rung = Rung::degraded_priority;
       report.status = pr.binding.status;
+      report.executed_proposals += pr.binding.executed_proposals;
       report.result = std::move(pr.binding);
-      return report;
+      return finalize(report);
     } catch (const ExecutionAborted& e) {
       log.status = abort_status(control, e);
       report.status = log.status;
+      report.executed_proposals += log.status.proposals;
       report.attempts.push_back(std::move(log));
     }
   }
 
   report.rung = Rung::none;
-  return report;
+  return finalize(report);
 }
 
 }  // namespace kstable::resilience

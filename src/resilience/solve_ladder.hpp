@@ -63,6 +63,11 @@ struct FallbackOptions {
   ThreadPool* pool = nullptr;
   /// Permit the Algorithm 2 last rung. When false the ladder is strict-only.
   bool allow_degraded = true;
+  /// Optional per-instance edge cache shared across every rung: candidate
+  /// trees draw from the same k(k-1)/2 gender-pair set, so edges completed
+  /// by an aborted attempt replay for free on the next one (and are not
+  /// re-charged against its budget). Must be built for this instance.
+  core::GsEdgeCache* cache = nullptr;
 };
 
 struct FallbackReport {
@@ -75,6 +80,14 @@ struct FallbackReport {
   std::optional<core::BindingResult> result;
   /// Every attempt in order, including the successful one.
   std::vector<AttemptLog> attempts;
+  /// Edge-cache outcomes accumulated over all attempts (0/0 without a
+  /// cache in FallbackOptions).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  /// Proposals actually executed across all attempts (failed ones included);
+  /// cache hits contribute nothing. The multi-tree work the cache saves is
+  /// visible here.
+  std::int64_t executed_proposals = 0;
 
   [[nodiscard]] bool degraded() const noexcept {
     return rung == Rung::degraded_priority;
