@@ -4,20 +4,49 @@
 // or theorem in the paper corresponds to), then runs its google-benchmark
 // microbenchmarks. EXPERIMENTS.md records the printed reports against the
 // paper's claims.
+//
+// Each binary also attaches the process-wide kstable metrics registry
+// (proposals, cache hits, ladder rungs, ... — docs/OBSERVABILITY.md) to the
+// google-benchmark context, so a `--benchmark_out=BENCH_X.json` run carries
+// the library's own counters alongside the timing rows. The snapshot is taken
+// after the report phase, i.e. it covers the report's solves; benchmark
+// iterations run afterwards and can be diffed against it with a second
+// export.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <sstream>
 
 #include "core/kstable.hpp"
 
-/// Defines main(): print the report, then run registered benchmarks.
+namespace kstable::benchsupport {
+
+/// Adds every registered instrument as a "kstable.<name>" context entry
+/// (counters/gauges as the value, histograms as "sum/count").
+inline void attach_metrics_context() {
+  for (const auto& s : kstable::obs::MetricsRegistry::global().snapshot()) {
+    std::ostringstream value;
+    if (s.kind == kstable::obs::MetricsRegistry::Sample::Kind::histogram) {
+      value << s.value << '/' << s.count;
+    } else {
+      value << s.value;
+    }
+    benchmark::AddCustomContext("kstable." + s.name, value.str());
+  }
+}
+
+}  // namespace kstable::benchsupport
+
+/// Defines main(): print the report, then run registered benchmarks with the
+/// metrics registry snapshot attached to the benchmark context/JSON output.
 #define KSTABLE_BENCH_MAIN(report_fn)                                   \
   int main(int argc, char** argv) {                                     \
     report_fn();                                                        \
     benchmark::Initialize(&argc, argv);                                 \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::kstable::benchsupport::attach_metrics_context();                  \
     benchmark::RunSpecifiedBenchmarks();                                \
     benchmark::Shutdown();                                              \
     return 0;                                                           \

@@ -15,14 +15,34 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 
 #include "core/kstable.hpp"
+#include "example_args.hpp"
+
+namespace {
+int usage() {
+  std::cerr << "usage: ant_colony [colonies>=1] [seed]\n";
+  return 2;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace kstable;
-  const Index n = argc > 1 ? static_cast<Index>(std::atoi(argv[1])) : 32;
-  const std::uint64_t seed =
-      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 2016;
+  using examples_cli::parse_arg;
+  if (argc > 3) return usage();
+  const auto n_arg = argc > 1
+      ? parse_arg<Index>(argv[1], 1, std::numeric_limits<Index>::max(),
+                         "colonies")
+      : std::optional<Index>{32};
+  const auto seed_arg = argc > 2
+      ? parse_arg<std::uint64_t>(argv[2], 0,
+                                 std::numeric_limits<std::uint64_t>::max(),
+                                 "seed")
+      : std::optional<std::uint64_t>{2016};
+  if (!n_arg || !seed_arg) return usage();
+  const Index n = *n_arg;
+  const std::uint64_t seed = *seed_arg;
 
   constexpr Gender kQueens = 0, kStrainA = 1, kStrainB = 2;
   Rng rng(seed);

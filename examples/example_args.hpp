@@ -1,0 +1,32 @@
+// Shared checked argv parsing for the example binaries and kmatch.
+//
+// Every demo used to push argv through std::atoi, so `society_kparent x y`
+// silently ran with k=0 and `kmatch gen -3 ...` wrapped a negative Gender
+// into the generator. parse_arg rejects non-numeric, partial, and
+// out-of-range input, prints one actionable line to stderr, and lets the
+// caller exit 2 through its usage() path.
+#pragma once
+
+#include <iostream>
+#include <optional>
+
+#include "util/parse.hpp"
+
+namespace kstable::examples_cli {
+
+/// Parses `text` as a T in [lo, hi]; on failure prints
+/// "invalid <what> '<text>' (expected ... in [lo, hi])" to stderr and
+/// returns nullopt so the caller can exit 2 via usage().
+template <typename T>
+[[nodiscard]] std::optional<T> parse_arg(const char* text, T lo, T hi,
+                                         const char* what) {
+  const auto value = util::parse_number<T>(text, lo, hi);
+  if (!value.has_value()) {
+    std::cerr << "invalid " << what << " '" << text << "' (expected "
+              << (std::is_floating_point_v<T> ? "number" : "integer")
+              << " in [" << +lo << ", " << +hi << "])\n";
+  }
+  return value;
+}
+
+}  // namespace kstable::examples_cli

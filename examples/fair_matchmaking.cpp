@@ -11,12 +11,19 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 
 #include "core/kstable.hpp"
+#include "example_args.hpp"
 
 namespace {
 
 using namespace kstable;
+
+int usage() {
+  std::cerr << "usage: fair_matchmaking [n>=1] [seed]\n";
+  return 2;
+}
 
 void fig2_demo() {
   std::cout << "--- Fig. 2 deadlock: m->w, w->m', m'->w', w'->m ---\n";
@@ -97,10 +104,18 @@ void comparison(Index n, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Index n = argc > 1 ? static_cast<Index>(std::atoi(argv[1])) : 64;
-  const std::uint64_t seed =
-      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+  using examples_cli::parse_arg;
+  if (argc > 3) return usage();
+  const auto n_arg = argc > 1
+      ? parse_arg<Index>(argv[1], 1, std::numeric_limits<Index>::max(), "n")
+      : std::optional<Index>{64};
+  const auto seed_arg = argc > 2
+      ? parse_arg<std::uint64_t>(argv[2], 0,
+                                 std::numeric_limits<std::uint64_t>::max(),
+                                 "seed")
+      : std::optional<std::uint64_t>{42};
+  if (!n_arg || !seed_arg) return usage();
   fig2_demo();
-  comparison(n, seed);
+  comparison(*n_arg, *seed_arg);
   return 0;
 }

@@ -16,25 +16,41 @@
 //   --max-proposals=<n>    abort the solve after n accumulated proposals
 //   --fallback             (kary only) on abort, retry along different
 //                          spanning trees, then degrade to the priority model
+//   --stats-json=<file>    write the solve's telemetry + the process metrics
+//                          registry as one JSON object (docs/OBSERVABILITY.md)
+//   --stats-prom=<file>    same data in Prometheus text exposition format
+//
+// Every numeric argument is parsed with the checked parse_arg helper: garbage,
+// trailing junk, and out-of-range values (k < 2, n < 1, negative seeds) are
+// rejected with exit code 2 instead of silently wrapping through std::atoi.
 //
 // Exit code 0 on success, 1 on "no stable matching", 2 on usage errors,
 // 3 when a solve was aborted (deadline/budget exhausted without --fallback,
 // or every fallback rung failed).
 
-#include <cstdlib>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/kstable.hpp"
+#include "example_args.hpp"
 
 namespace {
 
 using namespace kstable;
+using examples_cli::parse_arg;
 
 /// Flags shared by every solving command; set once in main().
 resilience::Budget g_budget;
 bool g_fallback = false;
+std::string g_stats_json;
+std::string g_stats_prom;
+/// Telemetry of the command's top-level solve, for --stats-json/--stats-prom.
+std::optional<obs::SolveTelemetry> g_telemetry;
 
 /// Returns a control for the configured budget, or nullptr when unlimited.
 resilience::ExecControl* budget_control() {
@@ -53,18 +69,57 @@ int usage() {
                "  kmatch stats <file>\n"
                "  kmatch dot <file> tree|matching\n"
                "  kmatch info <file>\n"
-               "flags: --deadline-ms=<ms>  --max-proposals=<n>  --fallback\n";
+               "flags: --deadline-ms=<ms>  --max-proposals=<n>  --fallback\n"
+               "       --stats-json=<file>  --stats-prom=<file>\n";
   return 2;
+}
+
+/// Writes the stats files requested via --stats-json/--stats-prom. The JSON
+/// payload is one object: {"schema":"kstable.stats.v1","telemetry":...,
+/// "metrics":{...}} where telemetry is null for commands that do not solve
+/// (gen, info, ...). Returns 0, or 2 when a file cannot be written.
+int write_stats() {
+  if (!g_stats_json.empty()) {
+    std::ofstream out(g_stats_json);
+    if (!out) {
+      std::cerr << "cannot write stats JSON to '" << g_stats_json << "'\n";
+      return 2;
+    }
+    out << "{\"schema\":\"kstable.stats.v1\",\"telemetry\":";
+    if (g_telemetry.has_value()) {
+      g_telemetry->write_json(out);
+    } else {
+      out << "null";
+    }
+    out << ",\"metrics\":";
+    obs::MetricsRegistry::global().write_json(out);
+    out << "}\n";
+  }
+  if (!g_stats_prom.empty()) {
+    std::ofstream out(g_stats_prom);
+    if (!out) {
+      std::cerr << "cannot write stats to '" << g_stats_prom << "'\n";
+      return 2;
+    }
+    if (g_telemetry.has_value()) g_telemetry->write_prometheus(out);
+    obs::MetricsRegistry::global().write_prometheus(out);
+  }
+  return 0;
 }
 
 int cmd_gen(int argc, char** argv) {
   if (argc != 6) return usage();
-  const auto k = static_cast<Gender>(std::atoi(argv[2]));
-  const auto n = static_cast<Index>(std::atoi(argv[3]));
-  Rng rng(static_cast<std::uint64_t>(std::atoll(argv[4])));
-  const auto inst = gen::uniform(k, n, rng);
+  const auto k = parse_arg<Gender>(argv[2], 2,
+                                   std::numeric_limits<Gender>::max(), "k");
+  const auto n = parse_arg<Index>(argv[3], 1,
+                                  std::numeric_limits<Index>::max(), "n");
+  const auto seed = parse_arg<std::uint64_t>(
+      argv[4], 0, std::numeric_limits<std::uint64_t>::max(), "seed");
+  if (!k || !n || !seed) return usage();
+  Rng rng(*seed);
+  const auto inst = gen::uniform(*k, *n, rng);
   io::save_file(inst, argv[5]);
-  std::cout << "wrote " << k << "-partite instance (" << n
+  std::cout << "wrote " << *k << "-partite instance (" << *n
             << " members/gender) to " << argv[5] << '\n';
   return 0;
 }
@@ -89,6 +144,7 @@ int cmd_kary(int argc, char** argv) {
     resilience::FallbackOptions opts;
     opts.per_attempt = g_budget;
     auto report = resilience::solve_with_fallback(inst, opts);
+    g_telemetry = report.telemetry;
     std::cout << "fallback ladder: " << report.attempts.size()
               << " attempt(s), rung " << resilience::to_string(report.rung)
               << '\n';
@@ -104,6 +160,7 @@ int cmd_kary(int argc, char** argv) {
     popts.binding.control = budget_control();
     auto pr = core::priority_binding(inst, popts);
     result = std::move(pr.binding);
+    g_telemetry = result.telemetry;
     tree = pr.tree;
   } else {
     if (shape == "path") {
@@ -119,6 +176,7 @@ int cmd_kary(int argc, char** argv) {
     core::BindingOptions bopts;
     bopts.control = budget_control();
     result = core::iterative_binding(inst, tree, bopts);
+    g_telemetry = result.telemetry;
   }
 
   std::cout << "binding tree edges:";
@@ -150,6 +208,7 @@ int cmd_binary(int argc, char** argv) {
   }
   const auto result =
       rm::solve_kpartite_binary(inst, policy, nullptr, budget_control());
+  g_telemetry = result.detail.telemetry;
   if (!result.has_stable) {
     std::cout << "no stable binary matching (reduced list of person "
               << result.detail.failed_person << " emptied)\n";
@@ -229,6 +288,7 @@ int cmd_roommates(int argc, char** argv) {
   rm::SolveOptions solve_options;
   solve_options.control = budget_control();
   const auto result = rm::solve(inst, solve_options);
+  g_telemetry = result.telemetry;
   if (!result.has_stable) {
     std::cout << "no stable matching (reduced list of person "
               << result.failed_person << " emptied)\n";
@@ -248,12 +308,21 @@ int cmd_roommates(int argc, char** argv) {
 
 int cmd_coalitions(int argc, char** argv) {
   if (argc != 4) return usage();
+  const auto c = parse_arg<Gender>(argv[3], 1,
+                                   std::numeric_limits<Gender>::max(),
+                                   "group size");
+  if (!c) return usage();
   const auto inst = io::load_file(argv[2]);
-  const auto c = static_cast<Gender>(std::atoi(argv[3]));
+  if (inst.genders() % *c != 0) {
+    std::cerr << "invalid group size " << *c << ": must divide k = "
+              << inst.genders() << '\n';
+    return usage();
+  }
   const auto partition =
-      core::SupergenderPartition::contiguous(inst.genders(), c);
+      core::SupergenderPartition::contiguous(inst.genders(), *c);
   const auto result = core::coalition_binding(
       inst, partition, rm::Linearization::round_robin);
+  g_telemetry = result.binding.telemetry;
   std::cout << result.coalitions.size() << " coalitions of "
             << result.coalitions.front().members.size()
             << " members (one per super-gender):\n";
@@ -276,9 +345,22 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--deadline-ms=", 0) == 0) {
-      g_budget.wall_ms = std::atof(a.c_str() + 14);
+      const auto ms = parse_arg<double>(a.c_str() + 14, 0.0, 1e15,
+                                        "--deadline-ms value");
+      if (!ms) return usage();
+      g_budget.wall_ms = *ms;
     } else if (a.rfind("--max-proposals=", 0) == 0) {
-      g_budget.max_proposals = std::atoll(a.c_str() + 16);
+      const auto cap = parse_arg<std::int64_t>(
+          a.c_str() + 16, 0, std::numeric_limits<std::int64_t>::max(),
+          "--max-proposals value");
+      if (!cap) return usage();
+      g_budget.max_proposals = *cap;
+    } else if (a.rfind("--stats-json=", 0) == 0) {
+      g_stats_json = a.substr(13);
+      if (g_stats_json.empty()) return usage();
+    } else if (a.rfind("--stats-prom=", 0) == 0) {
+      g_stats_prom = a.substr(13);
+      if (g_stats_prom.empty()) return usage();
     } else if (a == "--fallback") {
       g_fallback = true;
     } else if (a.rfind("--", 0) == 0) {
@@ -291,22 +373,26 @@ int main(int argc, char** argv) {
   const int nargs = static_cast<int>(args.size());
   if (nargs < 2) return usage();
   const std::string cmd = args[1];
+  int rc = -1;
   try {
-    if (cmd == "gen") return cmd_gen(nargs, args.data());
-    if (cmd == "info") return cmd_info(nargs, args.data());
-    if (cmd == "kary") return cmd_kary(nargs, args.data());
-    if (cmd == "binary") return cmd_binary(nargs, args.data());
-    if (cmd == "roommates") return cmd_roommates(nargs, args.data());
-    if (cmd == "coalitions") return cmd_coalitions(nargs, args.data());
-    if (cmd == "example") return cmd_example(nargs, args.data());
-    if (cmd == "stats") return cmd_stats(nargs, args.data());
-    if (cmd == "dot") return cmd_dot(nargs, args.data());
+    if (cmd == "gen") rc = cmd_gen(nargs, args.data());
+    else if (cmd == "info") rc = cmd_info(nargs, args.data());
+    else if (cmd == "kary") rc = cmd_kary(nargs, args.data());
+    else if (cmd == "binary") rc = cmd_binary(nargs, args.data());
+    else if (cmd == "roommates") rc = cmd_roommates(nargs, args.data());
+    else if (cmd == "coalitions") rc = cmd_coalitions(nargs, args.data());
+    else if (cmd == "example") rc = cmd_example(nargs, args.data());
+    else if (cmd == "stats") rc = cmd_stats(nargs, args.data());
+    else if (cmd == "dot") rc = cmd_dot(nargs, args.data());
   } catch (const kstable::ExecutionAborted& e) {
     std::cerr << "aborted: " << e.what() << '\n';
+    write_stats();  // aborted solves still export whatever was recorded
     return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
   }
-  return usage();
+  if (rc < 0) return usage();
+  const int stats_rc = write_stats();
+  return rc == 0 ? stats_rc : rc;
 }

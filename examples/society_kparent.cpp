@@ -10,12 +10,19 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 
 #include "core/kstable.hpp"
+#include "example_args.hpp"
 
 namespace {
 
 using namespace kstable;
+
+int usage() {
+  std::cerr << "usage: society_kparent [k>=2] [n>=1] [seed]\n";
+  return 2;
+}
 
 void report_tree(const KPartiteInstance& inst, const std::string& label,
                  const BindingStructure& tree, ThreadPool& pool,
@@ -34,10 +41,23 @@ void report_tree(const KPartiteInstance& inst, const std::string& label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Gender k = argc > 1 ? static_cast<Gender>(std::atoi(argv[1])) : 6;
-  const Index n = argc > 2 ? static_cast<Index>(std::atoi(argv[2])) : 128;
-  const std::uint64_t seed =
-      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+  using examples_cli::parse_arg;
+  if (argc > 4) return usage();
+  const auto k_arg = argc > 1
+      ? parse_arg<Gender>(argv[1], 2, std::numeric_limits<Gender>::max(), "k")
+      : std::optional<Gender>{6};
+  const auto n_arg = argc > 2
+      ? parse_arg<Index>(argv[2], 1, std::numeric_limits<Index>::max(), "n")
+      : std::optional<Index>{128};
+  const auto seed_arg = argc > 3
+      ? parse_arg<std::uint64_t>(argv[3], 0,
+                                 std::numeric_limits<std::uint64_t>::max(),
+                                 "seed")
+      : std::optional<std::uint64_t>{7};
+  if (!k_arg || !n_arg || !seed_arg) return usage();
+  const Gender k = *k_arg;
+  const Index n = *n_arg;
+  const std::uint64_t seed = *seed_arg;
 
   Rng rng(seed);
   std::cout << "Society: " << k << " genders x " << n << " members, "

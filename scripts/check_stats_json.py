@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validates a kmatch --stats-json file against the kstable.stats.v1 schema.
+
+Usage:
+    check_stats_json.py <stats.json> [--expect-proposals N] [--solved]
+
+Checks (stdlib only, no third-party deps):
+  * the file is one well-formed JSON object with schema "kstable.stats.v1";
+  * "telemetry" is null or an object with the full SolveTelemetry key set and
+    correctly typed values;
+  * "metrics" is an object mapping dotted names to ints (counters/gauges) or
+    {"count","sum","buckets"} histogram objects;
+  * with --solved: telemetry is present, ok, with positive wall_ms/proposals;
+  * with --expect-proposals N: telemetry.proposals == N (cross-checked against
+    the solver's stdout by the CTest wrapper).
+
+Exits 0 when valid, 1 with a diagnostic on stderr otherwise.
+"""
+import argparse
+import json
+import sys
+
+TELEMETRY_KEYS = {
+    "engine": str,
+    "genders": int,
+    "size": int,
+    "wall_ms": (int, float),
+    "phases": dict,
+    "status": dict,
+    "proposals": int,
+    "executed_proposals": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "rounds": int,
+    "attempts": int,
+    "rung": int,
+    "deadline_margin_ms": (int, float),
+}
+
+STATUS_KEYS = {"outcome": str, "abort_reason": str, "detail": str}
+
+
+def fail(message):
+    print(f"check_stats_json: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_telemetry(telemetry):
+    for key, kind in TELEMETRY_KEYS.items():
+        if key not in telemetry:
+            fail(f"telemetry missing key '{key}'")
+        if not isinstance(telemetry[key], kind):
+            fail(f"telemetry['{key}'] has type {type(telemetry[key]).__name__}")
+    for key, kind in STATUS_KEYS.items():
+        if key not in telemetry["status"]:
+            fail(f"telemetry.status missing key '{key}'")
+        if not isinstance(telemetry["status"][key], kind):
+            fail(f"telemetry.status['{key}'] is not a {kind.__name__}")
+    if telemetry["status"]["outcome"] not in ("ok", "aborted", "no_stable"):
+        fail(f"unknown outcome '{telemetry['status']['outcome']}'")
+    for name, ms in telemetry["phases"].items():
+        if not isinstance(name, str) or not isinstance(ms, (int, float)):
+            fail(f"phase '{name}' is not a string->number entry")
+
+
+def check_metrics(metrics):
+    for name, value in metrics.items():
+        if not isinstance(name, str) or not name:
+            fail("metric with empty/non-string name")
+        if isinstance(value, int):
+            continue
+        if isinstance(value, dict):
+            for key in ("count", "sum", "buckets"):
+                if key not in value:
+                    fail(f"histogram '{name}' missing '{key}'")
+            if not isinstance(value["buckets"], list) or not all(
+                isinstance(b, int) for b in value["buckets"]
+            ):
+                fail(f"histogram '{name}' has non-int buckets")
+            continue
+        fail(f"metric '{name}' is neither int nor histogram object")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("stats_file")
+    parser.add_argument("--expect-proposals", type=int, default=None)
+    parser.add_argument("--solved", action="store_true",
+                        help="require an ok telemetry record with nonzero "
+                             "timing and proposals")
+    args = parser.parse_args()
+
+    try:
+        with open(args.stats_file, encoding="utf-8") as fh:
+            stats = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot parse '{args.stats_file}': {exc}")
+
+    if not isinstance(stats, dict):
+        fail("top-level value is not an object")
+    if stats.get("schema") != "kstable.stats.v1":
+        fail(f"unexpected schema tag {stats.get('schema')!r}")
+    if "telemetry" not in stats or "metrics" not in stats:
+        fail("missing 'telemetry' or 'metrics' key")
+
+    telemetry = stats["telemetry"]
+    if telemetry is not None:
+        if not isinstance(telemetry, dict):
+            fail("'telemetry' is neither null nor an object")
+        check_telemetry(telemetry)
+    if not isinstance(stats["metrics"], dict):
+        fail("'metrics' is not an object")
+    check_metrics(stats["metrics"])
+
+    if args.solved:
+        if telemetry is None:
+            fail("--solved: telemetry is null")
+        if telemetry["status"]["outcome"] != "ok":
+            fail(f"--solved: outcome is {telemetry['status']['outcome']!r}")
+        if telemetry["wall_ms"] <= 0:
+            fail("--solved: wall_ms is not positive")
+        if telemetry["proposals"] <= 0:
+            fail("--solved: proposals is not positive")
+    if args.expect_proposals is not None:
+        if telemetry is None:
+            fail("--expect-proposals: telemetry is null")
+        if telemetry["proposals"] != args.expect_proposals:
+            fail(f"proposals {telemetry['proposals']} != "
+                 f"expected {args.expect_proposals}")
+
+    print(f"check_stats_json: OK ({args.stats_file})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# CLI regression tests for the checked-argument parsing and the --stats-json
+# exporter (run by CTest as `cli_regression`).
+#
+# Usage: cli_regression_test.sh <examples-bin-dir> <repo-root> <work-dir>
+#
+# Covers:
+#   * garbage/negative/overflowing numeric arguments exit 2 and print usage;
+#   * bad global-flag values (--deadline-ms=abc, --max-proposals=-1) exit 2;
+#   * the demo binaries reject garbage positional arguments the same way;
+#   * a gen -> kary --stats-json round trip produces a schema-valid stats
+#     file whose proposal count matches the solver's stdout.
+set -u
+
+BIN_DIR="$1"
+REPO_ROOT="$2"
+WORK_DIR="$3"
+KMATCH="$BIN_DIR/kmatch_cli"
+mkdir -p "$WORK_DIR"
+
+failures=0
+
+note_failure() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# expect_usage_error <description> -- <command...>
+# The command must exit 2 and print a usage line to stderr.
+expect_usage_error() {
+  local description="$1"
+  shift 2  # drop description and "--"
+  local stderr_file="$WORK_DIR/stderr.txt"
+  "$@" >/dev/null 2>"$stderr_file"
+  local rc=$?
+  if [ "$rc" -ne 2 ]; then
+    note_failure "$description: exit $rc, expected 2"
+    return
+  fi
+  if ! grep -qi "usage" "$stderr_file"; then
+    note_failure "$description: no usage text on stderr"
+    return
+  fi
+  echo "ok: $description"
+}
+
+# --- kmatch numeric-argument rejection -------------------------------------
+expect_usage_error "gen rejects negative k" \
+  -- "$KMATCH" gen -3 10 0 "$WORK_DIR/never.inst"
+expect_usage_error "gen rejects k=1 (need k>=2)" \
+  -- "$KMATCH" gen 1 10 0 "$WORK_DIR/never.inst"
+expect_usage_error "gen rejects non-numeric k/n" \
+  -- "$KMATCH" gen x y 0 "$WORK_DIR/never.inst"
+expect_usage_error "gen rejects trailing junk" \
+  -- "$KMATCH" gen 3 10x 0 "$WORK_DIR/never.inst"
+expect_usage_error "gen rejects n=0" \
+  -- "$KMATCH" gen 3 0 0 "$WORK_DIR/never.inst"
+expect_usage_error "gen rejects out-of-range n" \
+  -- "$KMATCH" gen 3 99999999999999999999 0 "$WORK_DIR/never.inst"
+expect_usage_error "bad --deadline-ms value" \
+  -- "$KMATCH" --deadline-ms=abc kary "$WORK_DIR/never.inst"
+expect_usage_error "negative --max-proposals" \
+  -- "$KMATCH" --max-proposals=-1 kary "$WORK_DIR/never.inst"
+expect_usage_error "unknown flag" \
+  -- "$KMATCH" --no-such-flag info "$WORK_DIR/never.inst"
+expect_usage_error "coalitions rejects non-numeric group size" \
+  -- "$KMATCH" coalitions "$WORK_DIR/never.inst" q
+if [ -e "$WORK_DIR/never.inst" ]; then
+  note_failure "a rejected gen still wrote its output file"
+fi
+
+# --- demo binaries reject garbage args -------------------------------------
+expect_usage_error "society_kparent rejects k=x" \
+  -- "$BIN_DIR/society_kparent" x
+expect_usage_error "society_kparent rejects k=1" \
+  -- "$BIN_DIR/society_kparent" 1 16 3
+expect_usage_error "ant_colony rejects colonies=-2" \
+  -- "$BIN_DIR/ant_colony" -2
+expect_usage_error "coalition_formation rejects n=junk" \
+  -- "$BIN_DIR/coalition_formation" junk
+expect_usage_error "fair_matchmaking rejects n=0" \
+  -- "$BIN_DIR/fair_matchmaking" 0
+
+# --- stats-json round trip --------------------------------------------------
+INST="$WORK_DIR/cli_reg.inst"
+STATS="$WORK_DIR/cli_reg.stats.json"
+PROM="$WORK_DIR/cli_reg.stats.prom"
+STDOUT="$WORK_DIR/cli_reg.stdout"
+if ! "$KMATCH" gen 3 8 5 "$INST" >/dev/null; then
+  note_failure "gen with valid arguments failed"
+elif ! "$KMATCH" --stats-json="$STATS" --stats-prom="$PROM" kary "$INST" \
+    >"$STDOUT"; then
+  note_failure "kary --stats-json failed"
+else
+  proposals="$(sed -n 's/^proposals: \([0-9]*\)$/\1/p' "$STDOUT")"
+  if [ -z "$proposals" ]; then
+    note_failure "could not read proposal count from kary stdout"
+  elif python3 "$REPO_ROOT/scripts/check_stats_json.py" "$STATS" \
+      --solved --expect-proposals "$proposals"; then
+    echo "ok: stats JSON round trip (proposals=$proposals)"
+  else
+    note_failure "stats JSON failed schema/proposal validation"
+  fi
+  if grep -q "kstable_solve_proposals{engine=\"binding.queue\"} $proposals" \
+      "$PROM"; then
+    echo "ok: Prometheus export carries the solve telemetry"
+  else
+    note_failure "Prometheus stats file missing telemetry series"
+  fi
+  # Registry counters exist only when the library was built with metrics on
+  # (the default); a -DKSTABLE_METRICS=OFF build exports an empty registry.
+  if grep -q '"gs.queue.proposals"' "$STATS"; then
+    if grep -q "kstable_gs_queue_proposals_total" "$PROM"; then
+      echo "ok: Prometheus export carries the registry counters"
+    else
+      note_failure "registry counters in JSON but missing from Prometheus"
+    fi
+  else
+    echo "ok: metrics registry compiled out (KSTABLE_METRICS=OFF build)"
+  fi
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "cli_regression_test: $failures failure(s)" >&2
+  exit 1
+fi
+echo "cli_regression_test: all checks passed"

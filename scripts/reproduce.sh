@@ -28,6 +28,10 @@ mv test_output.txt.partial test_output.txt
 # BENCH_e15.json, under the same .partial-then-rename discipline.
 : > bench_output.txt.partial
 for b in build/bench/bench_*; do
+  # The glob also matches stray non-binaries (CMake artifacts, *.json output
+  # from a previous in-tree run) and stays literal when nothing matches —
+  # only run regular executable files.
+  [ -f "$b" ] && [ -x "$b" ] || continue
   exp="$(basename "$b" | sed -E 's/^bench_(e[0-9]+).*/\1/')"
   json="BENCH_${exp}.json"
   echo "== $b ==" | tee -a bench_output.txt.partial

@@ -4,7 +4,9 @@
 
 #include "core/gs_cache.hpp"
 #include "core/tree_selection.hpp"
+#include "observability/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace kstable::core {
 
@@ -37,6 +39,7 @@ std::vector<BatchItemResult> BatchSolver::solve(
     bopts.control = &control;
     bopts.workspace = &workspace;
     bopts.cache = options.use_cache ? &cache : nullptr;
+    WallTimer item_timer;
     try {
       BindingResult result =
           options.tree == BatchTree::cost_aware
@@ -44,10 +47,13 @@ std::vector<BatchItemResult> BatchSolver::solve(
               : iterative_binding(inst, trees::path(inst.genders()), bopts);
       out.status = result.status;
       out.total_proposals = result.total_proposals;
+      out.telemetry = result.telemetry;  // engine relabeled below
       out.matching = std::move(result.equivalence.matching);
     } catch (const ExecutionAborted& e) {
       out.status = control.aborted_status(e.reason(), e.what());
       out.total_proposals = control.spent();
+      out.telemetry.executed_proposals = control.spent();
+      KSTABLE_COUNTER_ADD("batch.items_aborted", 1);
     }
     if (options.use_cache) {
       // The per-item cache is fresh, so its stats cover the whole item —
@@ -56,6 +62,22 @@ std::vector<BatchItemResult> BatchSolver::solve(
       out.cache_hits = stats.hits;
       out.cache_misses = stats.misses;
     }
+    obs::SolveTelemetry& t = out.telemetry;
+    t.engine = "batch.item";
+    t.genders = inst.genders();
+    t.size = inst.per_gender();
+    t.wall_ms = item_timer.millis();
+    t.status = out.status;
+    t.proposals = out.total_proposals;
+    t.cache_hits = out.cache_hits;
+    t.cache_misses = out.cache_misses;
+    t.attempts = 1;
+    if (budget.wall_ms > 0.0 && out.status.ok()) {
+      const double margin = budget.wall_ms - control.elapsed_ms();
+      t.deadline_margin_ms = margin > 0.0 ? margin : 0.0;
+    }
+    obs::record(t);
+    KSTABLE_COUNTER_ADD("batch.items", 1);
   });
   return results;
 }

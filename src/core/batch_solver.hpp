@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/binding.hpp"
+#include "observability/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "prefs/matching.hpp"
 #include "resilience/control.hpp"
@@ -62,6 +63,9 @@ struct BatchItemResult {
   /// Per-item edge-cache outcomes (0/0 with use_cache off).
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  /// Per-item record (engine "batch.item"); aborted items carry the abort
+  /// status with the proposals spent before the cutoff.
+  obs::SolveTelemetry telemetry;
 };
 
 class BatchSolver {

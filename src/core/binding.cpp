@@ -46,6 +46,41 @@ gs::GsResult run_engine(const KPartiteInstance& inst, GenderEdge edge,
   return {};
 }
 
+/// Static-lifetime telemetry label for a binding driven by `engine`.
+const char* binding_engine_label(GsEngine engine) {
+  switch (engine) {
+    case GsEngine::queue: return "binding.queue";
+    case GsEngine::rounds: return "binding.rounds";
+    case GsEngine::parallel: return "binding.parallel";
+  }
+  return "binding";
+}
+
+/// Fills the result's telemetry from its already-populated counters. The
+/// `engine` label override (nullptr = derive from options.engine) lets the
+/// higher drivers (Algorithm 2, parallel executor, ladder) re-label the same
+/// record shape.
+void finish_telemetry(BindingResult& result, const KPartiteInstance& inst,
+                      const BindingOptions& options, const char* engine) {
+  obs::SolveTelemetry& t = result.telemetry;
+  t.engine = engine != nullptr ? engine : binding_engine_label(options.engine);
+  t.genders = inst.genders();
+  t.size = inst.per_gender();
+  t.wall_ms = result.status.wall_ms;
+  t.status = result.status;
+  t.proposals = result.total_proposals;
+  t.executed_proposals = result.executed_proposals;
+  t.cache_hits = result.cache_hits;
+  t.cache_misses = result.cache_misses;
+  t.attempts = 1;
+  for (const auto& r : result.edge_results) t.rounds += r.rounds;
+  if (options.control != nullptr && options.control->budget().wall_ms > 0.0) {
+    const double margin =
+        options.control->budget().wall_ms - options.control->elapsed_ms();
+    t.deadline_margin_ms = margin > 0.0 ? margin : 0.0;
+  }
+}
+
 }  // namespace
 
 gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
@@ -86,9 +121,14 @@ BindingResult bind_structure(const KPartiteInstance& inst,
       hit ? ++result.cache_hits : ++result.cache_misses;
     }
   }
+  const double bind_ms = timer.millis();
   result.equivalence = derive_families(inst, structure, result.edge_results);
   result.status.proposals = result.total_proposals;
   result.status.wall_ms = timer.millis();
+  finish_telemetry(result, inst, options, nullptr);
+  result.telemetry.add_phase("bind", bind_ms);
+  result.telemetry.add_phase("assemble", timer.millis() - bind_ms);
+  obs::record(result.telemetry);
   return result;
 }
 
@@ -120,6 +160,7 @@ StrengthenResult strengthen_bindings(const KPartiteInstance& inst,
   KSTABLE_REQUIRE(base.is_forest(),
                   "strengthen_bindings starts from an acyclic base");
   StrengthenResult result{BindingStructure(inst.genders()), {}, 0, 0};
+  WallTimer timer;
   // Re-add the base edges, then try every absent pair in (a, b) order.
   std::vector<GenderEdge> candidates = base.edges();
   const auto base_count = static_cast<std::int32_t>(candidates.size());
@@ -166,10 +207,14 @@ StrengthenResult strengthen_bindings(const KPartiteInstance& inst,
     result.binding.total_proposals += r.proposals;
   }
   result.binding.status.proposals = result.binding.total_proposals;
+  result.binding.status.wall_ms = timer.millis();
   result.binding.equivalence =
       derive_families(inst, result.structure, result.binding.edge_results);
   KSTABLE_ENSURE(result.binding.equivalence.consistent,
                  "strengthened structure lost consistency");
+  finish_telemetry(result.binding, inst, options, "binding.strengthen");
+  result.binding.telemetry.add_phase("strengthen", timer.millis());
+  obs::record(result.binding.telemetry);
   return result;
 }
 

@@ -12,6 +12,7 @@
 // matching is generally unstable.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "core/equivalence.hpp"
 #include "graph/binding_structure.hpp"
 #include "gs/gale_shapley.hpp"
+#include "observability/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "prefs/kpartite.hpp"
 #include "prefs/matching.hpp"
@@ -28,6 +30,22 @@ namespace kstable::core {
 
 /// Which Gale-Shapley engine runs each binary binding.
 enum class GsEngine { queue, rounds, parallel };
+
+/// Number of GsEngine values. Keep NEXT TO the enum and update together when
+/// adding an engine: GsEdgeCache sizes its slot table from this and
+/// static_asserts against its own compiled-in constant, so a fourth engine
+/// cannot silently alias cache slots.
+inline constexpr std::size_t kGsEngineCount = 3;
+
+/// Static-lifetime display/metrics label of an engine.
+[[nodiscard]] constexpr const char* to_string(GsEngine engine) noexcept {
+  switch (engine) {
+    case GsEngine::queue: return "queue";
+    case GsEngine::rounds: return "rounds";
+    case GsEngine::parallel: return "parallel";
+  }
+  return "unknown";
+}
 
 class GsEdgeCache;  // core/gs_cache.hpp
 
@@ -74,6 +92,11 @@ struct BindingResult {
   /// How the solve ended (always SolveOutcome::ok when the call returns —
   /// aborts throw — but carried so ladder/serving layers report uniformly).
   resilience::SolveStatus status;
+  /// Structured per-solve record (engine, shape, timing breakdown, counters)
+  /// assembled by bind_structure and re-labeled by the higher drivers
+  /// (parallel executor, Algorithm 2, ladder). Exported via
+  /// telemetry.to_json() / to_prometheus().
+  obs::SolveTelemetry telemetry;
 
   [[nodiscard]] bool has_matching() const {
     return equivalence.matching.has_value();

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "observability/metrics.hpp"
 #include "util/check.hpp"
 
 namespace kstable::core {
@@ -17,8 +18,12 @@ std::size_t GsEdgeCache::slot(GenderEdge edge, GsEngine engine) const {
                       edge.a != edge.b,
                   "edge (" << edge.a << ',' << edge.b
                            << ") out of range for k=" << k_);
+  // Contract-checked (not just asserted): an out-of-enum engine value would
+  // index another key's slot and silently serve the wrong matching.
   const auto e = static_cast<std::size_t>(engine);
-  KSTABLE_ASSERT(e < kEngineCount);
+  KSTABLE_REQUIRE(e < kEngineCount,
+                  "GsEngine value " << e << " out of range (have "
+                                    << kEngineCount << " engines)");
   return (static_cast<std::size_t>(edge.a) * static_cast<std::size_t>(k_) +
           static_cast<std::size_t>(edge.b)) *
              kEngineCount +
@@ -31,11 +36,13 @@ const gs::GsResult* GsEdgeCache::find(GenderEdge edge, GsEngine engine) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (slots_[s].has_value()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      KSTABLE_COUNTER_ADD("cache.hits", 1);
       // Stable address: slots_ never grows and entries are never overwritten.
       return &*slots_[s];
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  KSTABLE_COUNTER_ADD("cache.misses", 1);
   return nullptr;
 }
 

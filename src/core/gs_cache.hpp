@@ -40,8 +40,18 @@ namespace kstable::core {
 
 class GsEdgeCache {
  public:
-  /// Number of distinct GsEngine values (queue, rounds, parallel).
-  static constexpr std::size_t kEngineCount = 3;
+  /// Number of distinct GsEngine values the slot table is sized for. Tied to
+  /// the enum's sentinel: adding a GsEngine without growing this constant is
+  /// a compile error, not a silent slot-aliasing bug.
+  static constexpr std::size_t kEngineCount = kGsEngineCount;
+  static_assert(kEngineCount == kGsEngineCount,
+                "GsEdgeCache slot table must cover every GsEngine value; "
+                "update kGsEngineCount (core/binding.hpp) and kEngineCount "
+                "together when adding an engine");
+  static_assert(static_cast<std::size_t>(GsEngine::parallel) ==
+                    kGsEngineCount - 1,
+                "kGsEngineCount is out of sync with the last GsEngine "
+                "enumerator");
 
   /// Creates an empty cache for instances with `k` genders (k*(k-1)*3 slots).
   explicit GsEdgeCache(Gender k);

@@ -14,6 +14,9 @@
 //   analysis::*                 — stability checkers, oracles, metrics
 //   resilience::*               — deadlines/cancellation (ExecControl), fault
 //                                 injection, and the tree-fallback solve ladder
+//   obs::*                      — observability: MetricsRegistry counters,
+//                                 per-solve SolveTelemetry, JSON/Prometheus
+//                                 exporters (docs/OBSERVABILITY.md)
 #pragma once
 
 #include "analysis/assignment.hpp"
@@ -40,6 +43,8 @@
 #include "gs/hospitals.hpp"
 #include "gs/parallel_gs.hpp"
 #include "gs/scan_gs.hpp"
+#include "observability/metrics.hpp"
+#include "observability/telemetry.hpp"
 #include "parallel/pram.hpp"
 #include "parallel/thread_pool.hpp"
 #include "prefs/catalog.hpp"
@@ -58,6 +63,7 @@
 #include "roommates/io.hpp"
 #include "roommates/lattice.hpp"
 #include "roommates/solver.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"

@@ -1,6 +1,7 @@
 #include "core/parallel_binding.hpp"
 
 #include "graph/scheduling.hpp"
+#include "observability/metrics.hpp"
 #include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -79,6 +80,27 @@ ParallelBindingReport execute_binding(const KPartiteInstance& inst,
                                       : pram::Model::crew;
   report.cost =
       pram::charge(tree, report.edge_proposals, model, inst.per_gender());
+
+  obs::SolveTelemetry& t = report.binding.telemetry;
+  t.engine = mode == ExecutionMode::sequential
+                 ? "parallel.sequential"
+                 : mode == ExecutionMode::erew_rounds ? "parallel.erew"
+                                                      : "parallel.crew";
+  t.genders = inst.genders();
+  t.size = inst.per_gender();
+  t.wall_ms = report.wall_seconds * 1e3;
+  t.add_phase("rounds", t.wall_ms);
+  t.status = report.binding.status;
+  t.proposals = report.binding.total_proposals;
+  t.executed_proposals = report.binding.total_proposals;
+  t.rounds = report.rounds_executed;
+  t.attempts = 1;
+  if (control != nullptr && control->budget().wall_ms > 0.0) {
+    const double margin = control->budget().wall_ms - control->elapsed_ms();
+    t.deadline_margin_ms = margin > 0.0 ? margin : 0.0;
+  }
+  obs::record(t);
+  KSTABLE_COUNTER_ADD("parallel.rounds", report.rounds_executed);
   return report;
 }
 

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 
+#include "observability/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace kstable::gs {
 
 namespace {
+
+#if KSTABLE_METRICS_ENABLED
+/// Eagerly registers this TU's instruments at static-init time: the
+/// KSTABLE_COUNTER_ADD call sites then resolve against already-registered
+/// names, so even the very FIRST warm solve performs zero heap allocations
+/// (asserted by GsWorkspace.WarmHelpersPreallocate).
+const bool kInstrumentsWarm = [] {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("gs.queue.solves");
+  registry.counter("gs.queue.proposals");
+  registry.counter("gs.rounds.solves");
+  registry.counter("gs.rounds.proposals");
+  registry.counter("gs.rounds.rounds");
+  return true;
+}();
+#endif
 
 void check_genders(const KPartiteInstance& inst, Gender i, Gender j) {
   KSTABLE_REQUIRE(i >= 0 && i < inst.genders() && j >= 0 && j < inst.genders(),
@@ -57,6 +75,7 @@ void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
                         const GsOptions& options, GsWorkspace& workspace,
                         GsResult& result) {
   check_genders(inst, i, j);
+  const WallTimer timer;
   const Index n = inst.per_gender();
   reset_result(result, i, j, n);
   reserve_trace(options, n);
@@ -106,7 +125,11 @@ void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
     if (options.trace != nullptr) options.trace->push_back(event);
   }
   result.rounds = result.proposals;
+  result.engine = "gs.queue";
+  result.wall_ms = timer.millis();
   finish(inst, result);
+  KSTABLE_COUNTER_ADD("gs.queue.solves", 1);
+  KSTABLE_COUNTER_ADD("gs.queue.proposals", result.proposals);
 }
 
 GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
@@ -121,6 +144,7 @@ void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
                          const GsOptions& options, GsWorkspace& workspace,
                          GsResult& result) {
   check_genders(inst, i, j);
+  const WallTimer timer;
   const Index n = inst.per_gender();
   reset_result(result, i, j, n);
   reserve_trace(options, n);
@@ -176,7 +200,12 @@ void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
     }
     free_list.swap(still_free);
   }
+  result.engine = "gs.rounds";
+  result.wall_ms = timer.millis();
   finish(inst, result);
+  KSTABLE_COUNTER_ADD("gs.rounds.solves", 1);
+  KSTABLE_COUNTER_ADD("gs.rounds.proposals", result.proposals);
+  KSTABLE_COUNTER_ADD("gs.rounds.rounds", result.rounds);
 }
 
 GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
@@ -185,6 +214,23 @@ GsResult gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
   GsResult result;
   gale_shapley_rounds(inst, i, j, options, workspace, result);
   return result;
+}
+
+obs::SolveTelemetry solve_telemetry(const GsResult& result, Gender k,
+                                    Index n) {
+  obs::SolveTelemetry t;
+  t.engine = result.engine[0] != '\0' ? result.engine : "gs";
+  t.genders = k;
+  t.size = n;
+  t.wall_ms = result.wall_ms;
+  t.add_phase("gs", result.wall_ms);
+  t.proposals = result.proposals;
+  t.executed_proposals = result.proposals;
+  t.rounds = result.rounds;
+  t.attempts = 1;
+  t.status.proposals = result.proposals;
+  t.status.wall_ms = result.wall_ms;
+  return t;
 }
 
 bool is_stable_binding(const KPartiteInstance& inst, const GsResult& result) {

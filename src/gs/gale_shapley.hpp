@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "observability/telemetry.hpp"
 #include "prefs/kpartite.hpp"
 #include "resilience/control.hpp"
 
@@ -41,7 +42,18 @@ struct GsResult {
   std::int64_t proposals = 0;
   /// Number of proposal rounds (1 per proposal for the queue engine).
   std::int64_t rounds = 0;
+  /// Wall time of the engine run in milliseconds (0 for cache replays).
+  double wall_ms = 0.0;
+  /// Static-lifetime label of the engine that produced this result
+  /// ("gs.queue", "gs.rounds", "gs.parallel", "gs.scan").
+  const char* engine = "";
 };
+
+/// Assembles the per-solve telemetry record for one engine run: engine label
+/// and wall time from `result`, shape from (k, n). Standalone GS callers and
+/// the binding drivers share this one definition of what a GS solve reports.
+[[nodiscard]] obs::SolveTelemetry solve_telemetry(const GsResult& result,
+                                                  Gender k, Index n);
 
 struct GsOptions {
   /// If non-null, every proposal event is appended (small instances only).

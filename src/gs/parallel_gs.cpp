@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "observability/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace kstable::gs {
 
@@ -35,6 +37,7 @@ void offer(std::atomic<std::uint64_t>& slot, std::uint64_t packed) {
 GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
                                ThreadPool& pool, std::size_t chunk,
                                resilience::ExecControl* control) {
+  const WallTimer timer;
   KSTABLE_REQUIRE(i != j && i >= 0 && j >= 0 && i < inst.genders() &&
                       j < inst.genders(),
                   "GS(" << i << ',' << j << ") invalid, k=" << inst.genders());
@@ -107,6 +110,11 @@ GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
     KSTABLE_ENSURE(result.responder_match[static_cast<std::size_t>(r)] >= 0,
                    "responder " << r << " unmatched after parallel GS");
   }
+  result.engine = "gs.parallel";
+  result.wall_ms = timer.millis();
+  KSTABLE_COUNTER_ADD("gs.parallel.solves", 1);
+  KSTABLE_COUNTER_ADD("gs.parallel.proposals", result.proposals);
+  KSTABLE_COUNTER_ADD("gs.parallel.rounds", result.rounds);
   return result;
 }
 

@@ -1,6 +1,8 @@
 #include "gs/scan_gs.hpp"
 
+#include "observability/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace kstable::gs {
 
@@ -26,6 +28,7 @@ GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
                       j < inst.genders(),
                   "GS(" << i << ',' << j << ") invalid, k=" << inst.genders());
   const Index n = inst.per_gender();
+  const WallTimer timer;
   GsResult result;
   result.proposer_gender = i;
   result.responder_gender = j;
@@ -58,6 +61,10 @@ GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
     }
   }
   result.rounds = result.proposals;
+  result.engine = "gs.scan";
+  result.wall_ms = timer.millis();
+  KSTABLE_COUNTER_ADD("gs.scan.solves", 1);
+  KSTABLE_COUNTER_ADD("gs.scan.proposals", result.proposals);
   return result;
 }
 

@@ -1,0 +1,119 @@
+#include "observability/telemetry.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "observability/metrics.hpp"
+
+namespace kstable::obs {
+
+namespace {
+
+/// Escapes a string into a JSON literal (status.detail may carry anything).
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (c == '\n') {
+      os << "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+         << "0123456789abcdef"[c & 0xf];
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void SolveTelemetry::write_json(std::ostream& os) const {
+  os << "{\"engine\":\"" << engine << "\",\"genders\":" << genders
+     << ",\"size\":" << size << ",\"wall_ms\":" << wall_ms << ",\"phases\":{";
+  for (int p = 0; p < phase_count; ++p) {
+    if (p != 0) os << ',';
+    os << '"' << phases[p].name << "\":" << phases[p].ms;
+  }
+  os << "},\"status\":{\"outcome\":\"" << to_string(status.outcome)
+     << "\",\"abort_reason\":\"" << kstable::to_string(status.abort_reason)
+     << "\",\"detail\":";
+  json_string(os, status.detail);
+  os << "},\"proposals\":" << proposals
+     << ",\"executed_proposals\":" << executed_proposals
+     << ",\"cache_hits\":" << cache_hits
+     << ",\"cache_misses\":" << cache_misses << ",\"rounds\":" << rounds
+     << ",\"attempts\":" << attempts << ",\"rung\":" << rung
+     << ",\"deadline_margin_ms\":" << deadline_margin_ms << '}';
+}
+
+std::string SolveTelemetry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void SolveTelemetry::write_prometheus(std::ostream& os) const {
+  const auto sample = [&](const char* name, auto value) {
+    os << "kstable_solve_" << name << "{engine=\"" << engine << "\"} " << value
+       << '\n';
+  };
+  sample("wall_ms", wall_ms);
+  sample("proposals", proposals);
+  sample("executed_proposals", executed_proposals);
+  sample("cache_hits", cache_hits);
+  sample("cache_misses", cache_misses);
+  sample("rounds", rounds);
+  sample("attempts", attempts);
+  sample("ok", status.ok() ? 1 : 0);
+  sample("deadline_margin_ms", deadline_margin_ms);
+}
+
+std::string SolveTelemetry::to_prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+void record(const SolveTelemetry& t) {
+#if KSTABLE_METRICS_ENABLED
+  auto& registry = MetricsRegistry::global();
+  // Composed names are looked up once per solve (not per proposal); the
+  // registry's lock and the string build are noise next to any GS run.
+  const std::string prefix = std::string("solve.") + t.engine;
+  registry.counter(prefix + ".count").add(1);
+  registry.counter(prefix + ".proposals").add(t.proposals);
+  registry.histogram(prefix + ".wall_us").observe_ms(t.wall_ms);
+  if (t.executed_proposals != 0) {
+    registry.counter(prefix + ".executed_proposals")
+        .add(t.executed_proposals);
+  }
+  // Cache hit/miss totals are bumped by GsEdgeCache itself (the authoritative
+  // count, covering aborted attempts too); the per-record fields are only
+  // exported, not re-aggregated, to avoid double counting.
+  if (t.rounds != 0) registry.counter(prefix + ".rounds").add(t.rounds);
+  switch (t.status.outcome) {
+    case resilience::SolveOutcome::ok:
+      registry.counter("solve.outcome.ok").add(1);
+      break;
+    case resilience::SolveOutcome::aborted:
+      registry.counter("solve.outcome.aborted").add(1);
+      break;
+    case resilience::SolveOutcome::no_stable:
+      registry.counter("solve.outcome.no_stable").add(1);
+      break;
+  }
+  if (t.rung >= 0) {
+    registry.gauge("ladder.last_rung").set(t.rung);
+    registry.counter("ladder.attempts").add(t.attempts);
+  }
+  if (t.deadline_margin_ms > 0.0) {
+    registry.gauge("deadline.margin_us").set_ms(t.deadline_margin_ms);
+  }
+#else
+  (void)t;
+#endif
+}
+
+}  // namespace kstable::obs

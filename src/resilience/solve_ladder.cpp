@@ -6,7 +6,9 @@
 #include "core/gs_cache.hpp"
 #include "core/priority_binding.hpp"
 #include "graph/prufer.hpp"
+#include "observability/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace kstable::resilience {
 
@@ -43,11 +45,39 @@ FallbackReport solve_with_fallback(const KPartiteInstance& inst,
   const core::GsEdgeCache::Stats cache_before =
       options.cache != nullptr ? options.cache->stats()
                                : core::GsEdgeCache::Stats{};
+  const WallTimer ladder_timer;
   const auto finalize = [&](FallbackReport& r) -> FallbackReport& {
     if (options.cache != nullptr) {
       const auto now = options.cache->stats();
       r.cache_hits = now.hits - cache_before.hits;
       r.cache_misses = now.misses - cache_before.misses;
+    }
+    obs::SolveTelemetry& t = r.telemetry;
+    t.engine = "ladder";
+    t.genders = inst.genders();
+    t.size = inst.per_gender();
+    t.wall_ms = ladder_timer.millis();
+    t.add_phase("ladder", t.wall_ms);
+    t.status = r.status;
+    // The ladder's proposal total is the semantic count of the winning
+    // attempt; executed covers every attempt (failed rungs included).
+    t.proposals = r.result.has_value() ? r.result->total_proposals : 0;
+    t.executed_proposals = r.executed_proposals;
+    t.cache_hits = r.cache_hits;
+    t.cache_misses = r.cache_misses;
+    t.attempts = static_cast<std::int64_t>(r.attempts.size());
+    t.rung = static_cast<std::int32_t>(r.rung);
+    obs::record(t);
+    switch (r.rung) {
+      case Rung::strict_tree:
+        KSTABLE_COUNTER_ADD("ladder.rung.strict", 1);
+        break;
+      case Rung::degraded_priority:
+        KSTABLE_COUNTER_ADD("ladder.rung.degraded", 1);
+        break;
+      case Rung::none:
+        KSTABLE_COUNTER_ADD("ladder.rung.none", 1);
+        break;
     }
     return r;
   };

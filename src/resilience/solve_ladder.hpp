@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/binding.hpp"
+#include "observability/telemetry.hpp"
 #include "resilience/control.hpp"
 
 namespace kstable::resilience {
@@ -88,6 +89,9 @@ struct FallbackReport {
   /// cache hits contribute nothing. The multi-tree work the cache saves is
   /// visible here.
   std::int64_t executed_proposals = 0;
+  /// Per-ladder-run record (engine "ladder", attempts count, final rung,
+  /// cumulative counters) for the observability exporters.
+  obs::SolveTelemetry telemetry;
 
   [[nodiscard]] bool degraded() const noexcept {
     return rung == Rung::degraded_priority;

@@ -4,6 +4,7 @@
 
 #include "resilience/fault_injection.hpp"
 #include "util/check.hpp"
+#include "observability/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace kstable::rm {
@@ -178,13 +179,39 @@ bool run_phase1(ReductionTable& table, std::int64_t& proposals,
 
 namespace {
 
-/// Fills the structured completion record from the classic result fields.
-void finish_status(RoommatesResult& result, const WallTimer& timer) {
+/// Fills the structured completion record and telemetry from the classic
+/// result fields. `phase1_ms` is the wall time at the phase-1/phase-2
+/// boundary (the rest of the solve is phase 2 + extraction).
+void finish_status(RoommatesResult& result, const WallTimer& timer,
+                   const RoommatesInstance& instance, double phase1_ms,
+                   const SolveOptions& options) {
   result.status.outcome = result.has_stable
                               ? resilience::SolveOutcome::ok
                               : resilience::SolveOutcome::no_stable;
   result.status.proposals = result.phase1_proposals;
   result.status.wall_ms = timer.millis();
+
+  obs::SolveTelemetry& t = result.telemetry;
+  t.engine = "roommates";
+  t.genders = 0;  // not a k-partite solve; size is the person count
+  t.size = instance.size();
+  t.wall_ms = result.status.wall_ms;
+  t.add_phase("phase1", phase1_ms);
+  t.add_phase("phase2", result.status.wall_ms - phase1_ms);
+  t.status = result.status;
+  t.proposals = result.phase1_proposals;
+  t.executed_proposals = result.phase1_proposals;
+  t.rounds = result.rotations_eliminated;
+  t.attempts = 1;
+  if (options.control != nullptr &&
+      options.control->budget().wall_ms > 0.0) {
+    const double margin =
+        options.control->budget().wall_ms - options.control->elapsed_ms();
+    t.deadline_margin_ms = margin > 0.0 ? margin : 0.0;
+  }
+  obs::record(t);
+  KSTABLE_COUNTER_ADD("roommates.rotations", result.rotations_eliminated);
+  KSTABLE_COUNTER_ADD("roommates.pair_deletions", result.pair_deletions);
 }
 
 }  // namespace
@@ -198,12 +225,13 @@ RoommatesResult solve(const RoommatesInstance& instance,
   if (!run_phase1(table, result.phase1_proposals, result.failed_person,
                   options.control)) {
     result.pair_deletions = table.deletions();
-    finish_status(result, timer);
+    finish_status(result, timer, instance, timer.millis(), options);
     return result;
   }
+  const double phase1_ms = timer.millis();
   if (!run_phase2(table, options, result)) {
     result.pair_deletions = table.deletions();
-    finish_status(result, timer);
+    finish_status(result, timer, instance, phase1_ms, options);
     return result;
   }
 
@@ -225,7 +253,7 @@ RoommatesResult solve(const RoommatesInstance& instance,
   result.pair_deletions = table.deletions();
   KSTABLE_ENSURE(is_stable_matching(instance, result.match),
                  "solver produced an unstable matching");
-  finish_status(result, timer);
+  finish_status(result, timer, instance, phase1_ms, options);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "observability/telemetry.hpp"
 #include "resilience/control.hpp"
 #include "roommates/table.hpp"
 
@@ -57,6 +58,9 @@ struct RoommatesResult {
   std::vector<Rotation> rotation_log; ///< filled if options.record_rotations
   /// Structured completion record: ok or no_stable (aborts throw instead).
   resilience::SolveStatus status;
+  /// Per-solve record (engine "roommates", phases phase1/phase2, proposal
+  /// and rotation counters) for the observability exporters.
+  obs::SolveTelemetry telemetry;
 };
 
 /// Runs both phases and extracts the matching (or reports non-existence).

@@ -1,0 +1,63 @@
+// Checked numeric argument parsing for CLI front-ends and examples.
+//
+// The original entry points fed argv straight through std::atoi/std::atoll,
+// which (a) returns 0 for non-numeric garbage, (b) silently accepts trailing
+// junk ("10x"), (c) has undefined behavior on out-of-range input, and (d) let
+// negative or huge values narrow into Gender/Index where they either wrapped
+// or exploded later as a ContractViolation deep inside the library. These
+// helpers parse the ENTIRE string with std::from_chars, enforce an inclusive
+// [lo, hi] range, and report failure as std::nullopt so callers can exit 2
+// via their usage() instead of aborting.
+#pragma once
+
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace kstable::util {
+
+/// Parses the whole of `text` as a number of type T (integral: base 10;
+/// floating point: fixed/scientific). Returns nullopt unless every character
+/// is consumed, the value is representable in T, and lo <= value <= hi.
+template <typename T>
+[[nodiscard]] std::optional<T> parse_number(std::string_view text, T lo, T hi) {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  std::from_chars_result result{};
+  if constexpr (std::is_floating_point_v<T>) {
+    // std::from_chars for double is C++17 but missing from some libstdc++
+    // configurations; strtod with a full-consumption check is equivalent
+    // here (CLI arguments are NUL-terminated).
+    char* end = nullptr;
+    const std::string buffer(text);
+    value = static_cast<T>(std::strtod(buffer.c_str(), &end));
+    if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+    result.ec = std::errc{};
+    result.ptr = last;
+  } else {
+    result = std::from_chars(first, last, value, 10);
+  }
+  if (result.ec != std::errc{} || result.ptr != last) return std::nullopt;
+  if (value < lo || value > hi) return std::nullopt;
+  return value;
+}
+
+/// Convenience overload spanning the whole representable range of T.
+template <typename T>
+[[nodiscard]] std::optional<T> parse_number(std::string_view text) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return parse_number<T>(text, -std::numeric_limits<T>::max(),
+                           std::numeric_limits<T>::max());
+  } else {
+    return parse_number<T>(text, std::numeric_limits<T>::min(),
+                           std::numeric_limits<T>::max());
+  }
+}
+
+}  // namespace kstable::util
