@@ -188,22 +188,25 @@ void report() {
     const Gender ck = 5;
     Rng rng(7309);
     const auto inst = gen::uniform(ck, 64, rng);
+    // The all-trees sweep is the TreeSweep engine's job now (E18 measures its
+    // parallel scaling); running it poolless here isolates the cache effect.
+    core::TreeSweepOptions sweep_options;
+    sweep_options.fold = core::SweepFold::score_table;
+    sweep_options.keep_matchings = true;
+    const auto off = core::sweep_all_trees(inst, sweep_options);
     core::GsEdgeCache cache(ck);
-    core::BindingOptions cached_options;
-    cached_options.cache = &cache;
-    std::int64_t trees_swept = 0;
-    std::int64_t executed_off = 0, executed_on = 0, total_either = 0;
-    bool identical = true;
-    prufer::enumerate_trees(ck, [&](const BindingStructure& tree) {
-      ++trees_swept;
-      const auto off = core::iterative_binding(inst, tree);
-      const auto on = core::iterative_binding(inst, tree, cached_options);
-      identical = identical && off.matching() == on.matching() &&
-                  off.total_proposals == on.total_proposals;
-      executed_off += off.executed_proposals;
-      executed_on += on.executed_proposals;
-      total_either += off.total_proposals;
-    });
+    sweep_options.cache = &cache;
+    const auto on = core::sweep_all_trees(inst, sweep_options);
+    const std::int64_t trees_swept = off.stats.trees;
+    const std::int64_t executed_off = off.stats.executed_proposals;
+    const std::int64_t executed_on = on.stats.executed_proposals;
+    const std::int64_t total_either = off.stats.total_proposals;
+    bool identical = off.per_tree.size() == on.per_tree.size();
+    for (std::size_t i = 0; identical && i < off.per_tree.size(); ++i) {
+      identical = *off.per_tree[i].matching == *on.per_tree[i].matching &&
+                  off.per_tree[i].total_proposals ==
+                      on.per_tree[i].total_proposals;
+    }
     const auto stats = cache.stats();
     TableWriter ablation("Edge-cache ablation: all k^(k-2) trees (k=5, n=64, "
                          "uniform)",

@@ -3,7 +3,9 @@
 // Usage:
 //   kmatch gen   <k> <n> <seed> <file>       write a random instance
 //   kmatch kary  <file> [tree]               stable k-ary matching (Algorithm 1)
-//                                            tree: path | star | random | priority
+//                                            tree: path | star | random |
+//                                            priority | best (TreeSweep argmin
+//                                            over all k^(k-2) trees, small k)
 //   kmatch binary <file> [lin]               stable binary matching via the
 //                                            roommates solver; lin: rr | blocks
 //   kmatch roommates <file>                  solve a roommates-format instance
@@ -16,6 +18,9 @@
 //   --max-proposals=<n>    abort the solve after n accumulated proposals
 //   --fallback             (kary only) on abort, retry along different
 //                          spanning trees, then degrade to the priority model
+//   --sweep-threads=<n>    pool size for 'kary <file> best' and the
+//                          speculative --fallback ladder (checked, >= 1;
+//                          1 = sequential, the default)
 //   --stats-json=<file>    write the solve's telemetry + the process metrics
 //                          registry as one JSON object (docs/OBSERVABILITY.md)
 //   --stats-prom=<file>    same data in Prometheus text exposition format
@@ -47,6 +52,7 @@ using examples_cli::parse_arg;
 /// Flags shared by every solving command; set once in main().
 resilience::Budget g_budget;
 bool g_fallback = false;
+std::size_t g_sweep_threads = 1;
 std::string g_stats_json;
 std::string g_stats_prom;
 /// Telemetry of the command's top-level solve, for --stats-json/--stats-prom.
@@ -61,7 +67,7 @@ resilience::ExecControl* budget_control() {
 int usage() {
   std::cerr << "usage:\n"
                "  kmatch [flags] gen <k> <n> <seed> <file>\n"
-               "  kmatch [flags] kary <file> [path|star|random|priority]\n"
+               "  kmatch [flags] kary <file> [path|star|random|priority|best]\n"
                "  kmatch [flags] binary <file> [rr|blocks]\n"
                "  kmatch [flags] roommates <file>\n"
                "  kmatch [flags] coalitions <file> <group size>\n"
@@ -70,6 +76,7 @@ int usage() {
                "  kmatch dot <file> tree|matching\n"
                "  kmatch info <file>\n"
                "flags: --deadline-ms=<ms>  --max-proposals=<n>  --fallback\n"
+               "       --sweep-threads=<n>\n"
                "       --stats-json=<file>  --stats-prom=<file>\n";
   return 2;
 }
@@ -140,9 +147,17 @@ int cmd_kary(int argc, char** argv) {
 
   core::BindingResult result;
   BindingStructure tree(k);
+  // Lives outside the branches: the pool must outlive the sweep it backs.
+  std::optional<ThreadPool> pool;
   if (g_fallback) {
     resilience::FallbackOptions opts;
     opts.per_attempt = g_budget;
+    if (g_sweep_threads > 1) {
+      // Race the strict rungs speculatively across the pool.
+      pool.emplace(g_sweep_threads);
+      opts.pool = &*pool;
+      opts.speculative = true;
+    }
     auto report = resilience::solve_with_fallback(inst, opts);
     g_telemetry = report.telemetry;
     std::cout << "fallback ladder: " << report.attempts.size()
@@ -162,6 +177,30 @@ int cmd_kary(int argc, char** argv) {
     result = std::move(pr.binding);
     g_telemetry = result.telemetry;
     tree = pr.tree;
+  } else if (shape == "best") {
+    core::TreeSweepOptions sopts;
+    if (prufer::cayley_count(k) > sopts.max_trees) {
+      std::cerr << "kary best sweeps all k^(k-2) trees; k = " << k
+                << " spans " << prufer::cayley_count(k)
+                << ", above the " << sopts.max_trees << "-tree guard\n";
+      return 2;
+    }
+    resilience::ExecControl* control = budget_control();
+    sopts.control = control;
+    core::GsEdgeCache cache(k);
+    sopts.cache = &cache;
+    if (g_sweep_threads > 1) {
+      pool.emplace(g_sweep_threads);
+      sopts.pool = &*pool;
+    }
+    auto sweep = core::sweep_all_trees(inst, sopts);
+    g_telemetry = sweep.telemetry;
+    std::cout << "swept " << sweep.stats.trees << " trees ("
+              << sweep.stats.workers << " worker(s), " << sweep.stats.steals
+              << " steals); best tree index " << sweep.best_index
+              << ", bound-pair cost " << sweep.best_cost << '\n';
+    tree = *sweep.best_tree;
+    result = std::move(*sweep.best);
   } else {
     if (shape == "path") {
       tree = trees::path(k);
@@ -361,6 +400,11 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--stats-prom=", 0) == 0) {
       g_stats_prom = a.substr(13);
       if (g_stats_prom.empty()) return usage();
+    } else if (a.rfind("--sweep-threads=", 0) == 0) {
+      const auto threads = parse_arg<std::int64_t>(
+          a.c_str() + 16, 1, 4096, "--sweep-threads value");
+      if (!threads) return usage();
+      g_sweep_threads = static_cast<std::size_t>(*threads);
     } else if (a == "--fallback") {
       g_fallback = true;
     } else if (a.rfind("--", 0) == 0) {

@@ -63,6 +63,12 @@ expect_usage_error "negative --max-proposals" \
   -- "$KMATCH" --max-proposals=-1 kary "$WORK_DIR/never.inst"
 expect_usage_error "unknown flag" \
   -- "$KMATCH" --no-such-flag info "$WORK_DIR/never.inst"
+expect_usage_error "non-numeric --sweep-threads" \
+  -- "$KMATCH" --sweep-threads=abc kary "$WORK_DIR/never.inst"
+expect_usage_error "zero --sweep-threads (need >= 1)" \
+  -- "$KMATCH" --sweep-threads=0 kary "$WORK_DIR/never.inst"
+expect_usage_error "negative --sweep-threads" \
+  -- "$KMATCH" --sweep-threads=-4 kary "$WORK_DIR/never.inst"
 expect_usage_error "coalitions rejects non-numeric group size" \
   -- "$KMATCH" coalitions "$WORK_DIR/never.inst" q
 if [ -e "$WORK_DIR/never.inst" ]; then
@@ -117,6 +123,24 @@ else
     fi
   else
     echo "ok: metrics registry compiled out (KSTABLE_METRICS=OFF build)"
+  fi
+fi
+
+# --- kary best: parallel sweep matches the sequential sweep -----------------
+SEQ_OUT="$WORK_DIR/cli_reg.best_seq"
+PAR_OUT="$WORK_DIR/cli_reg.best_par"
+if ! "$KMATCH" kary "$INST" best >"$SEQ_OUT"; then
+  note_failure "kary best (sequential) failed"
+elif ! "$KMATCH" --sweep-threads=4 kary "$INST" best >"$PAR_OUT"; then
+  note_failure "kary best --sweep-threads=4 failed"
+else
+  # Determinism contract: only the worker/steal telemetry line may differ.
+  if [ "$(grep -v '^swept ' "$SEQ_OUT")" = "$(grep -v '^swept ' "$PAR_OUT")" ] \
+      && grep -q "^swept 3 trees" "$SEQ_OUT" \
+      && grep -q "best tree index" "$SEQ_OUT"; then
+    echo "ok: kary best parallel output identical to sequential"
+  else
+    note_failure "kary best parallel/sequential outputs differ"
   fi
 fi
 

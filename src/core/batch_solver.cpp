@@ -4,6 +4,7 @@
 
 #include "core/gs_cache.hpp"
 #include "core/tree_selection.hpp"
+#include "core/tree_sweep.hpp"
 #include "observability/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -41,10 +42,28 @@ std::vector<BatchItemResult> BatchSolver::solve(
     bopts.cache = options.use_cache ? &cache : nullptr;
     WallTimer item_timer;
     try {
-      BindingResult result =
-          options.tree == BatchTree::cost_aware
-              ? cost_aware_binding(inst, TreeObjective::min_cost, bopts)
-              : iterative_binding(inst, trees::path(inst.genders()), bopts);
+      BindingResult result = [&] {
+        switch (options.tree) {
+          case BatchTree::cost_aware:
+            return cost_aware_binding(inst, TreeObjective::min_cost, bopts);
+          case BatchTree::sweep_best: {
+            // We are a pool worker here, so the sweep's nested guard makes
+            // it run sequentially even with the pool attached — exactly the
+            // oversubscription behavior the tree_sweep tests pin down.
+            TreeSweepOptions sopts;
+            sopts.engine = options.engine;
+            sopts.pool = &pool_;
+            sopts.cache = bopts.cache;
+            sopts.control = bopts.control;
+            TreeSweepResult sweep = sweep_all_trees(inst, sopts);
+            KSTABLE_ASSERT(sweep.succeeded());
+            return std::move(*sweep.best);
+          }
+          case BatchTree::path:
+            break;
+        }
+        return iterative_binding(inst, trees::path(inst.genders()), bopts);
+      }();
       out.status = result.status;
       out.total_proposals = result.total_proposals;
       out.telemetry = result.telemetry;  // engine relabeled below

@@ -27,9 +27,13 @@ namespace kstable::core {
 
 /// How each item's binding tree is chosen.
 enum class BatchTree : std::uint8_t {
-  path,       ///< trees::path(k) — the library default, no probe overhead
-  cost_aware  ///< probe all pairs, bind the min-cost tree; with the per-item
-              ///< cache on, the tree's edges replay from the probes for free
+  path,        ///< trees::path(k) — the library default, no probe overhead
+  cost_aware,  ///< probe all pairs, bind the min-cost tree; with the per-item
+               ///< cache on, the tree's edges replay from the probes for free
+  sweep_best   ///< sweep_all_trees best_cost fold: the exact argmin over all
+               ///< k^(k-2) trees (small k only). Runs inside a pool worker,
+               ///< so TreeSweep's nested-pool guard keeps each item's sweep
+               ///< sequential — the batch stays one-task-per-item.
 };
 
 struct BatchOptions {

@@ -91,13 +91,12 @@ gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
                   "cache built for k=" << options.cache->genders()
                                        << ", instance has k="
                                        << inst.genders());
-  if (const gs::GsResult* hit = options.cache->find(edge, options.engine)) {
-    if (cache_hit != nullptr) *cache_hit = true;
-    return *hit;
-  }
-  gs::GsResult result = run_engine(inst, edge, options);
-  options.cache->insert(edge, options.engine, result);
-  return result;
+  // Single-flight lookup: under a concurrent sweep, N workers missing the
+  // same oriented edge run GS once and share the published result.
+  return options.cache->get_or_compute(
+      edge, options.engine,
+      [&] { return run_engine(inst, edge, options); }, options.control,
+      cache_hit);
 }
 
 BindingResult bind_structure(const KPartiteInstance& inst,

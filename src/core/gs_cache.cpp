@@ -1,5 +1,6 @@
 #include "core/gs_cache.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "observability/metrics.hpp"
@@ -7,10 +8,22 @@
 
 namespace kstable::core {
 
-GsEdgeCache::GsEdgeCache(Gender k) : k_(k) {
+namespace {
+
+/// How long a single-flight waiter sleeps between checks of its ExecControl.
+/// A GS edge run is O(n²) proposals, so waits are normally tens of
+/// microseconds; the interval only bounds how stale a deadline/cancellation
+/// check can get while the leader is unusually slow.
+constexpr std::chrono::milliseconds kWaiterPollInterval{20};
+
+}  // namespace
+
+GsEdgeCache::GsEdgeCache(Gender k, Policy policy)
+    : k_(k),
+      policy_(policy),
+      slots_(static_cast<std::size_t>(k >= 2 ? k : 0) *
+             static_cast<std::size_t>(k >= 2 ? k : 0) * kEngineCount) {
   KSTABLE_REQUIRE(k >= 2, "GsEdgeCache needs k >= 2, got " << k);
-  slots_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k) *
-                kEngineCount);
 }
 
 std::size_t GsEdgeCache::slot(GenderEdge edge, GsEngine engine) const {
@@ -31,15 +44,13 @@ std::size_t GsEdgeCache::slot(GenderEdge edge, GsEngine engine) const {
 }
 
 const gs::GsResult* GsEdgeCache::find(GenderEdge edge, GsEngine engine) {
-  const std::size_t s = slot(edge, engine);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (slots_[s].has_value()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      KSTABLE_COUNTER_ADD("cache.hits", 1);
-      // Stable address: slots_ never grows and entries are never overwritten.
-      return &*slots_[s];
-    }
+  Slot& entry = slots_[slot(edge, engine)];
+  // Ready is terminal and the value precedes it (release store), so the
+  // acquire load alone licenses the lock-free read.
+  if (entry.state.load(std::memory_order_acquire) == kReady) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    KSTABLE_COUNTER_ADD("cache.hits", 1);
+    return &*entry.value;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   KSTABLE_COUNTER_ADD("cache.misses", 1);
@@ -55,22 +66,123 @@ const gs::GsResult& GsEdgeCache::insert(GenderEdge edge, GsEngine engine,
                                      << ") do not match edge (" << edge.a << ','
                                      << edge.b << ')');
   const std::size_t s = slot(edge, engine);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!slots_[s].has_value()) slots_[s] = std::move(result);
-  return *slots_[s];
+  Slot& entry = slots_[s];
+  Stripe& stripe = stripe_for(s);
+  {
+    std::lock_guard<std::mutex> lock(stripe.m);
+    if (entry.state.load(std::memory_order_relaxed) != kReady) {
+      entry.value.emplace(std::move(result));
+      entry.state.store(kReady, std::memory_order_release);
+    }
+  }
+  // An insert may race a single-flight leader that claimed kComputing via
+  // get_or_compute; wake its waiters — the published value satisfies them.
+  stripe.cv.notify_all();
+  return *entry.value;
+}
+
+const gs::GsResult& GsEdgeCache::get_or_compute(
+    GenderEdge edge, GsEngine engine,
+    const std::function<gs::GsResult()>& compute,
+    resilience::ExecControl* control, bool* hit) {
+  const std::size_t s = slot(edge, engine);
+  Slot& entry = slots_[s];
+
+  // Lock-free fast path — the overwhelmingly common case once a sweep has
+  // warmed the k(k-1) keys.
+  if (entry.state.load(std::memory_order_acquire) == kReady) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    KSTABLE_COUNTER_ADD("cache.hits", 1);
+    if (hit != nullptr) *hit = true;
+    return *entry.value;
+  }
+
+  Stripe& stripe = stripe_for(s);
+  std::unique_lock<std::mutex> lock(stripe.m);
+  bool waited = false;
+  for (;;) {
+    const std::uint8_t state = entry.state.load(std::memory_order_relaxed);
+    if (state == kReady) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      KSTABLE_COUNTER_ADD("cache.hits", 1);
+      if (waited) {
+        single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+        KSTABLE_COUNTER_ADD("cache.single_flight_waits", 1);
+      }
+      if (hit != nullptr) *hit = true;
+      return *entry.value;
+    }
+
+    if (state == kEmpty || policy_ == Policy::duplicate) {
+      // Leader path (or a legacy duplicate compute racing the leader). Claim
+      // the slot, run GS unlocked, publish under the stripe lock.
+      const bool claimed = state == kEmpty;
+      if (claimed) {
+        entry.state.store(kComputing, std::memory_order_relaxed);
+      }
+      lock.unlock();
+      gs::GsResult result;
+      try {
+        result = compute();
+      } catch (...) {
+        if (claimed) {
+          // Roll the claim back so a waiter (or the next caller) becomes the
+          // new leader instead of blocking on an abandoned compute forever.
+          lock.lock();
+          entry.state.store(kEmpty, std::memory_order_relaxed);
+          lock.unlock();
+          stripe.cv.notify_all();
+        }
+        throw;
+      }
+      KSTABLE_REQUIRE(result.proposer_gender == edge.a &&
+                          result.responder_gender == edge.b,
+                      "computed result genders ("
+                          << result.proposer_gender << ','
+                          << result.responder_gender
+                          << ") do not match edge (" << edge.a << ',' << edge.b
+                          << ')');
+      lock.lock();
+      if (entry.state.load(std::memory_order_relaxed) != kReady) {
+        entry.value.emplace(std::move(result));
+        entry.state.store(kReady, std::memory_order_release);
+      }
+      lock.unlock();
+      stripe.cv.notify_all();
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      KSTABLE_COUNTER_ADD("cache.misses", 1);
+      if (hit != nullptr) *hit = false;
+      return *entry.value;
+    }
+
+    // state == kComputing under single-flight: another thread owns the GS
+    // run for this key. Wait it out, polling our own control so a deadline
+    // or cancellation aborts a blocked waiter too (ExecutionAborted unwinds
+    // with the lock released by RAII).
+    waited = true;
+    stripe.cv.wait_for(lock, kWaiterPollInterval);
+    if (control != nullptr) control->check_now();
+  }
 }
 
 void GsEdgeCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& entry : slots_) entry.reset();
+  // External-quiescence contract (see header): locking each stripe here is
+  // belt-and-braces against stragglers, not a licence for concurrent clear.
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(stripe_for(s).m);
+    slots_[s].value.reset();
+    slots_[s].state.store(kEmpty, std::memory_order_relaxed);
+  }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  single_flight_waits_.store(0, std::memory_order_relaxed);
 }
 
 std::size_t GsEdgeCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t count = 0;
-  for (const auto& entry : slots_) count += entry.has_value() ? 1 : 0;
+  for (const auto& entry : slots_) {
+    count += entry.state.load(std::memory_order_acquire) == kReady ? 1 : 0;
+  }
   return count;
 }
 

@@ -5,11 +5,12 @@
 // GsResult is a pure function of (instance, oriented edge, engine): the
 // engines are deterministic and GS is confluent, so even the parallel engine
 // reproduces the sequential outcome bit for bit. Multi-tree drivers —
-// tree_selection probes, the E15 ablation sweep, solve_with_fallback's retry
-// ladder — therefore recompute identical matchings over and over. Memoizing
-// them collapses O(#trees·(k-1)) GS runs to at most k(k-1) per instance, and
-// the cache is semantically invisible: cached and uncached solves produce
-// bitwise-identical matchings (property-tested over all k^(k-2) trees).
+// tree_selection probes, the E15 ablation sweep, the TreeSweep engine,
+// solve_with_fallback's retry ladder — therefore recompute identical
+// matchings over and over. Memoizing them collapses O(#trees·(k-1)) GS runs
+// to at most k(k-1) per instance, and the cache is semantically invisible:
+// cached and uncached solves produce bitwise-identical matchings
+// (property-tested over all k^(k-2) trees).
 //
 // Key and invalidation rules:
 //   * The key is (proposer gender, responder gender, engine). Orientation
@@ -19,22 +20,44 @@
 //     (new instance => new cache). There is no other invalidation:
 //     KPartiteInstance is immutable while solves run.
 //
-// Thread-safety: find/insert take an internal mutex (one lock per *edge
-// solve*, not per proposal — noise next to an O(n²) GS run); hit/miss
-// counters are relaxed atomics. Concurrent misses on one key may both
-// compute; the first insert wins, and determinism makes both results equal.
-// Entry addresses are stable (the slot table never grows), so pointers
-// returned by find() live as long as the cache.
+// Concurrency design (the TreeSweep fan-out hammers one cache from every
+// pool worker at once):
+//   * Each key owns a fixed Slot with an atomic state machine
+//     empty -> computing -> ready. Ready is terminal: entries are never
+//     overwritten, so a ready slot is readable lock-free (acquire load) and
+//     entry addresses are stable for the cache's lifetime.
+//   * Mutation is guarded by 64 stripe locks (slot index mod 64), not one
+//     global mutex — concurrent misses on *different* keys never contend.
+//   * Misses resolve **single-flight**: the first thread to claim an empty
+//     slot computes; later threads missing the same key block on the
+//     stripe's condition variable until the leader publishes, then read the
+//     leader's result. N concurrent misses cost one GS run, not N (the
+//     deduplicated waits are counted in Stats::single_flight_waits). If the
+//     leader's compute throws (deadline, cancellation, injected fault), the
+//     slot resets to empty and one waiter is promoted to leader.
+//   * Policy::duplicate opts back into the pre-single-flight behaviour
+//     (concurrent misses all compute; first publish wins) so the E18
+//     benchmark can measure exactly what deduplication buys.
+//
+// Counting contract (what the gs_cache tests pin down): every lookup counts
+// exactly one hit or one miss; a miss is counted by the thread whose compute
+// got published (so in quiescent use misses == size()), and a single-flight
+// waiter counts a hit plus one wait. clear() requires external quiescence —
+// it is a between-phases reset, not a concurrent eviction.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/binding.hpp"
 #include "gs/gale_shapley.hpp"
+#include "resilience/control.hpp"
 
 namespace kstable::core {
 
@@ -53,11 +76,20 @@ class GsEdgeCache {
                 "kGsEngineCount is out of sync with the last GsEngine "
                 "enumerator");
 
+  /// Miss-resolution policy for concurrent misses on one key.
+  enum class Policy {
+    single_flight,  ///< one leader computes, other missers wait (default)
+    duplicate,      ///< legacy: every misser computes, first publish wins
+  };
+
   /// Creates an empty cache for instances with `k` genders (k*(k-1)*3 slots).
-  explicit GsEdgeCache(Gender k);
+  explicit GsEdgeCache(Gender k, Policy policy = Policy::single_flight);
 
   /// Cached result of GS(edge.a proposes, edge.b responds) under `engine`,
-  /// or nullptr. Counts one hit or one miss.
+  /// or nullptr. Counts one hit or one miss. A slot another thread is still
+  /// computing reads as absent — callers pairing find() with insert() keep
+  /// the legacy duplicate-compute behaviour; use get_or_compute() for
+  /// single-flight resolution.
   [[nodiscard]] const gs::GsResult* find(GenderEdge edge, GsEngine engine);
 
   /// Stores `result` for the key; first insert wins (a concurrent duplicate
@@ -65,17 +97,40 @@ class GsEdgeCache {
   const gs::GsResult& insert(GenderEdge edge, GsEngine engine,
                              gs::GsResult result);
 
+  /// The single-flight lookup: returns the cached result, or runs `compute`
+  /// exactly once across all concurrent callers of this key and caches it.
+  /// `hit` (optional) reports whether this caller got a memoized result
+  /// (waiting out another thread's in-flight compute counts as a hit — no GS
+  /// work was executed on this thread's behalf). Waiters poll `control`
+  /// (optional) while blocked so a deadline or cancellation still aborts a
+  /// thread that is only waiting; if the *leader's* compute throws, the slot
+  /// resets and one waiter takes over the compute. The returned reference is
+  /// stable for the cache's lifetime.
+  const gs::GsResult& get_or_compute(
+      GenderEdge edge, GsEngine engine,
+      const std::function<gs::GsResult()>& compute,
+      resilience::ExecControl* control = nullptr, bool* hit = nullptr);
+
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
+    /// Lookups that found another thread's compute in flight and waited for
+    /// it instead of duplicating the GS run (each is also counted as a hit).
+    std::int64_t single_flight_waits = 0;
   };
   [[nodiscard]] Stats stats() const noexcept {
     return {hits_.load(std::memory_order_relaxed),
-            misses_.load(std::memory_order_relaxed)};
+            misses_.load(std::memory_order_relaxed),
+            single_flight_waits_.load(std::memory_order_relaxed)};
   }
 
+  [[nodiscard]] Policy policy() const noexcept { return policy_; }
+
   /// Drops every entry and zeroes the counters (the cache stays bound to the
-  /// same instance shape).
+  /// same instance shape). Requires external quiescence: no other thread may
+  /// be touching the cache — clear() is a between-phases reset, and entry
+  /// pointers handed out before it dangle after it (true of the original
+  /// global-mutex design too).
   void clear();
 
   [[nodiscard]] Gender genders() const noexcept { return k_; }
@@ -84,13 +139,44 @@ class GsEdgeCache {
   [[nodiscard]] std::size_t size() const;
 
  private:
+  /// Slot lifecycle: kEmpty -> kComputing (single-flight leader claimed it)
+  /// -> kReady (value published, terminal). The value is written before the
+  /// release store of kReady and never again, which is what makes the
+  /// lock-free acquire read of ready slots sound.
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kComputing = 1;
+  static constexpr std::uint8_t kReady = 2;
+
+  struct Slot {
+    std::atomic<std::uint8_t> state{kEmpty};
+    std::optional<gs::GsResult> value;
+  };
+
+  /// Stripe count: comfortably above any realistic worker count, small
+  /// enough that the mutex/cv table stays a few KB. Must be a power of two
+  /// (stripe index is slot & (kStripes - 1)).
+  static constexpr std::size_t kStripes = 64;
+  static_assert((kStripes & (kStripes - 1)) == 0, "kStripes: power of two");
+
+  struct Stripe {
+    std::mutex m;
+    std::condition_variable cv;
+  };
+
   [[nodiscard]] std::size_t slot(GenderEdge edge, GsEngine engine) const;
+  [[nodiscard]] Stripe& stripe_for(std::size_t slot_index) const noexcept {
+    return stripes_[slot_index & (kStripes - 1)];
+  }
 
   Gender k_;
-  mutable std::mutex mutex_;
-  std::vector<std::optional<gs::GsResult>> slots_;
+  Policy policy_;
+  /// Constructed once at full size and never resized: Slot holds an atomic
+  /// (immovable) and entry addresses must stay stable.
+  std::vector<Slot> slots_;
+  mutable std::array<Stripe, kStripes> stripes_;
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> single_flight_waits_{0};
 };
 
 }  // namespace kstable::core

@@ -11,6 +11,8 @@
 //   core::execute_binding       — parallel binding (EREW/CREW schedules)
 //   core::GsEdgeCache           — per-instance memo of per-edge GS results
 //   core::BatchSolver           — many instances across the thread pool
+//   core::sweep_all_trees       — work-stealing parallel sweep over all
+//                                 k^(k-2) binding trees (TreeSweep engine)
 //   analysis::*                 — stability checkers, oracles, metrics
 //   resilience::*               — deadlines/cancellation (ExecControl), fault
 //                                 injection, and the tree-fallback solve ladder
@@ -36,6 +38,7 @@
 #include "core/priority_binding.hpp"
 #include "core/supergender.hpp"
 #include "core/tree_selection.hpp"
+#include "core/tree_sweep.hpp"
 #include "graph/binding_structure.hpp"
 #include "graph/prufer.hpp"
 #include "graph/scheduling.hpp"

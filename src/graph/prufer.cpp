@@ -94,6 +94,22 @@ BindingStructure random_tree(Gender k, Rng& rng) {
   return decode(seq, k);
 }
 
+std::vector<Gender> code_at(std::int64_t index, Gender k) {
+  KSTABLE_REQUIRE(k >= 2, "code_at needs k >= 2, got " << k);
+  KSTABLE_REQUIRE(index >= 0 && index < cayley_count(k),
+                  "tree index " << index << " out of range for k=" << k);
+  std::vector<Gender> seq(static_cast<std::size_t>(k > 2 ? k - 2 : 0));
+  for (auto& digit : seq) {
+    digit = static_cast<Gender>(index % k);
+    index /= k;
+  }
+  return seq;
+}
+
+BindingStructure tree_at(std::int64_t index, Gender k) {
+  return decode(code_at(index, k), k);
+}
+
 std::int64_t cayley_count(Gender k) {
   KSTABLE_REQUIRE(k >= 1, "cayley_count needs k >= 1, got " << k);
   if (k <= 2) return 1;

@@ -27,6 +27,16 @@ BindingStructure random_tree(Gender k, Rng& rng);
 /// INT64_MAX for large k.
 std::int64_t cayley_count(Gender k);
 
+/// Prüfer sequence of the tree at position `index` in the enumeration order
+/// of enumerate_trees (the odometer over {0..k-1}^(k-2) with seq[0] as the
+/// least-significant digit): code_at(index, k)[j] = (index / k^j) mod k.
+/// This random access is what lets TreeSweep chunk the k^(k-2) tree space
+/// across workers without a shared enumeration cursor.
+std::vector<Gender> code_at(std::int64_t index, Gender k);
+
+/// decode(code_at(index, k), k): the index-th tree of the enumeration.
+BindingStructure tree_at(std::int64_t index, Gender k);
+
 /// Enumerates all k^(k-2) spanning trees for small k (k <= 8 recommended;
 /// 8^6 = 262144 trees). Calls `visit` with each tree.
 template <typename Visitor>

@@ -8,6 +8,15 @@
 
 namespace kstable {
 
+namespace {
+/// Set once per worker thread, never cleared: a pool worker stays a pool
+/// worker for its whole lifetime, and the flag answers "am I running inside
+/// some pool?" regardless of which pool owns the thread.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker_thread() noexcept { return t_in_pool_worker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -28,6 +37,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -34,6 +34,14 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// True when the calling thread is a worker of ANY ThreadPool. Parallel
+  /// drivers (TreeSweep, the speculative ladder, parallel pair probes) use
+  /// this to detect pool-within-pool nesting — e.g. a sweep running inside a
+  /// BatchSolver item — and degrade to their sequential path instead of
+  /// queueing a second thread complement onto an already-saturated pool
+  /// (which oversubscribes at best and deadlocks a fixed-size pool at worst).
+  [[nodiscard]] static bool in_worker_thread() noexcept;
+
   /// Enqueues a task; returns a future for its result. Exceptions the task
   /// throws (including the "thread_pool/task" fault point) are captured into
   /// the future and rethrown by get().

@@ -64,6 +64,17 @@ struct FallbackOptions {
   ThreadPool* pool = nullptr;
   /// Permit the Algorithm 2 last rung. When false the ladder is strict-only.
   bool allow_degraded = true;
+  /// Race the strict rungs speculatively instead of one at a time: with a
+  /// pool attached (and the caller not itself a pool worker), the candidate
+  /// trees are pre-generated from the same deterministic stream and swept
+  /// through core::sweep_trees' first_stable fold, each candidate under its
+  /// own backoff-scaled budget. The winner is the lowest-indexed candidate
+  /// that succeeds — with no shared cache that is exactly the sequential
+  /// ladder's winner; with a shared cache under tight budgets, which rung
+  /// wins may shift (concurrent attempts warm each other's edges), though
+  /// any given tree's matching stays bitwise-identical. Work burnt on
+  /// candidates above the winner is reported as speculative_waste.
+  bool speculative = false;
   /// Optional per-instance edge cache shared across every rung: candidate
   /// trees draw from the same k(k-1)/2 gender-pair set, so edges completed
   /// by an aborted attempt replay for free on the next one (and are not
@@ -89,6 +100,10 @@ struct FallbackReport {
   /// cache hits contribute nothing. The multi-tree work the cache saves is
   /// visible here.
   std::int64_t executed_proposals = 0;
+  /// Of executed_proposals, the share burnt by speculative strict rungs
+  /// above the winning candidate — work the sequential ladder would never
+  /// have started (0 unless FallbackOptions::speculative).
+  std::int64_t speculative_waste = 0;
   /// Per-ladder-run record (engine "ladder", attempts count, final rung,
   /// cumulative counters) for the observability exporters.
   obs::SolveTelemetry telemetry;

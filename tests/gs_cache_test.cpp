@@ -6,6 +6,10 @@
 // at most k(k-1) fresh GS runs per instance.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -219,6 +223,184 @@ TEST(GsEdgeCache, ClearResetsEntriesAndCounters) {
   bool hit = true;
   run_binding(inst, {0, 1}, options, &hit);
   EXPECT_FALSE(hit);
+}
+
+// ---------------------------------------------------------------------------
+// Striped single-flight concurrency (the TreeSweep fan-out shape). These
+// tests are the TSan targets for the cache: 8+ threads hammering every key of
+// one cache, with per-key compute counters proving the exactly-once contract.
+
+/// A recognizable GsResult for `edge` that passes the cache's gender checks
+/// without running GS (the stress tests count *computes*, not matchings).
+gs::GsResult fabricated(GenderEdge edge) {
+  gs::GsResult r;
+  r.proposer_gender = edge.a;
+  r.responder_gender = edge.b;
+  r.proposals = static_cast<std::int64_t>(edge.a) * 100 + edge.b;
+  r.engine = "fabricated";
+  return r;
+}
+
+/// Hammers every oriented edge of a k-gender cache from `threads` threads and
+/// returns the per-key compute counts (indexed a*k+b).
+std::vector<int> hammer(GsEdgeCache& cache, Gender k, int threads,
+                        std::atomic<std::int64_t>& calls) {
+  std::vector<std::atomic<int>> computes(static_cast<std::size_t>(k) *
+                                         static_cast<std::size_t>(k));
+  std::atomic<int> ready{0};
+  std::vector<std::thread> crew;
+  crew.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    crew.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < threads) std::this_thread::yield();
+      // Each thread walks the edges from a different offset so every key
+      // sees concurrent first-lookups from several threads.
+      std::vector<GenderEdge> edges;
+      for (Gender a = 0; a < k; ++a) {
+        for (Gender b = 0; b < k; ++b) {
+          if (a != b) edges.push_back({a, b});
+        }
+      }
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        const GenderEdge edge =
+            edges[(i + static_cast<std::size_t>(t)) % edges.size()];
+        const auto& r = cache.get_or_compute(edge, GsEngine::queue, [&] {
+          computes[static_cast<std::size_t>(edge.a) *
+                       static_cast<std::size_t>(k) +
+                   static_cast<std::size_t>(edge.b)]
+              .fetch_add(1);
+          // Hold the slot long enough that other threads actually pile up
+          // on it (single-flight waiters / duplicate computes).
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          return fabricated(edge);
+        });
+        calls.fetch_add(1);
+        // Served value is the published one for THIS key, never a
+        // neighbouring slot's (the striped locks guard slots, not keys).
+        if (r.proposer_gender != edge.a || r.responder_gender != edge.b) {
+          std::abort();
+        }
+      }
+    });
+  }
+  for (auto& th : crew) th.join();
+  std::vector<int> out(computes.size());
+  for (std::size_t i = 0; i < computes.size(); ++i) out[i] = computes[i].load();
+  return out;
+}
+
+TEST(GsEdgeCacheConcurrency, SingleFlightComputesEachKeyExactlyOnce) {
+  const Gender k = 5;
+  const auto keys = static_cast<std::int64_t>(k) * (k - 1);
+  for (int round = 0; round < 10; ++round) {
+    GsEdgeCache cache(k);
+    std::atomic<std::int64_t> calls{0};
+    const std::vector<int> computes = hammer(cache, k, /*threads=*/8, calls);
+
+    // THE zero-duplicate guarantee: concurrent misses on one key collapse to
+    // exactly one compute, every round, no matter the interleaving.
+    for (Gender a = 0; a < k; ++a) {
+      for (Gender b = 0; b < k; ++b) {
+        const int count =
+            computes[static_cast<std::size_t>(a) * static_cast<std::size_t>(k) +
+                     static_cast<std::size_t>(b)];
+        EXPECT_EQ(count, a == b ? 0 : 1)
+            << "edge (" << a << ',' << b << ") round " << round;
+      }
+    }
+    EXPECT_EQ(cache.size(), static_cast<std::size_t>(keys));
+    const auto stats = cache.stats();
+    // Every lookup counted exactly one hit or miss; misses == published
+    // computes == keys; a wait is always also a hit.
+    EXPECT_EQ(stats.hits + stats.misses, calls.load());
+    EXPECT_EQ(stats.misses, keys);
+    EXPECT_LE(stats.single_flight_waits, stats.hits);
+  }
+}
+
+TEST(GsEdgeCacheConcurrency, DuplicatePolicyMeasurablyRecomputes) {
+  const Gender k = 5;
+  const auto keys = static_cast<std::int64_t>(k) * (k - 1);
+  std::int64_t total_computes = 0;
+  for (int round = 0; round < 10; ++round) {
+    GsEdgeCache cache(k, GsEdgeCache::Policy::duplicate);
+    std::atomic<std::int64_t> calls{0};
+    const std::vector<int> computes = hammer(cache, k, /*threads=*/8, calls);
+
+    std::int64_t round_computes = 0;
+    for (const int count : computes) round_computes += count;
+    total_computes += round_computes;
+    // Each key computed at least once; first publish won, so the table still
+    // holds one entry per key.
+    EXPECT_GE(round_computes, keys);
+    EXPECT_EQ(cache.size(), static_cast<std::size_t>(keys));
+    const auto stats = cache.stats();
+    // Counting contract under duplication: every compute (published or beaten
+    // to the publish) counts one miss, everything else is a hit, and the
+    // single-flight wait path is never taken.
+    EXPECT_EQ(stats.misses, round_computes);
+    EXPECT_EQ(stats.hits + stats.misses, calls.load());
+    EXPECT_EQ(stats.single_flight_waits, 0);
+  }
+  // What the E18 ablation measures: across rounds, the legacy policy performs
+  // duplicate GS computes that single-flight provably never does. (Any one
+  // round may get lucky; ten rounds of 8 threads piling onto cold keys do
+  // not.)
+  EXPECT_GT(total_computes, 10 * keys);
+}
+
+TEST(GsEdgeCacheConcurrency, LeaderExceptionPromotesNextCaller) {
+  GsEdgeCache cache(3);
+  struct Boom {};
+  // Leader's compute dies: the claim must roll back so the key is not wedged
+  // in kComputing forever.
+  EXPECT_THROW(cache.get_or_compute({0, 1}, GsEngine::queue,
+                                    []() -> gs::GsResult { throw Boom{}; }),
+               Boom);
+  EXPECT_EQ(cache.size(), 0u);
+  // The next caller is promoted to leader and computes normally.
+  bool hit = true;
+  const auto& r = cache.get_or_compute(
+      {0, 1}, GsEngine::queue, [] { return fabricated({0, 1}); }, nullptr,
+      &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(r.proposals, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GsEdgeCacheConcurrency, BlockedWaiterHonorsItsOwnDeadline) {
+  GsEdgeCache cache(3);
+  std::atomic<bool> leader_in{false};
+  std::atomic<bool> release{false};
+  std::thread leader([&] {
+    cache.get_or_compute({0, 1}, GsEngine::queue, [&] {
+      leader_in.store(true);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return fabricated({0, 1});
+    });
+  });
+  while (!leader_in.load()) std::this_thread::yield();
+
+  // The waiter's own deadline fires while the leader is still computing: the
+  // wait must abort (via the poll interval) instead of blocking until the
+  // leader finishes.
+  resilience::ExecControl control(resilience::Budget::deadline(1.0));
+  EXPECT_THROW(cache.get_or_compute(
+                   {0, 1}, GsEngine::queue, [] { return fabricated({0, 1}); },
+                   &control),
+               ExecutionAborted);
+
+  release.store(true);
+  leader.join();
+  // The leader still published; an unbudgeted lookup now hits.
+  bool hit = false;
+  cache.get_or_compute(
+      {0, 1}, GsEngine::queue, [] { return fabricated({0, 1}); }, nullptr,
+      &hit);
+  EXPECT_TRUE(hit);
 }
 
 }  // namespace
