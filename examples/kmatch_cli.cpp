@@ -11,6 +11,11 @@
 //   kmatch roommates <file>                  solve a roommates-format instance
 //   kmatch coalitions <file> <c>             super-gender coalitions of group
 //                                            size c (k' must be divisible by c)
+//   kmatch verify                            cross-engine differential sweep
+//                                            (docs/VERIFY.md); mismatches are
+//                                            emitted as JSON lines, the first
+//                                            failing seed is delta-debugged to
+//                                            a minimal loadable repro file
 //   kmatch info  <file>                      print instance dimensions
 //
 // Global flags (accepted anywhere on the command line):
@@ -25,13 +30,23 @@
 //                          registry as one JSON object (docs/OBSERVABILITY.md)
 //   --stats-prom=<file>    same data in Prometheus text exposition format
 //
+// Verify flags (kmatch verify only):
+//   --seeds=<n>            seeds per shape (default 100)
+//   --shape=<s>            bipartite | kpartite | roommates | all (default all)
+//   --dist=<d>             uniform | master | skewed | adversarial | mixed
+//   --base-seed=<n>        first seed of the sweep (default 1)
+//   --sabotage=<s>         none | gs_swap | kary_swap — deliberately corrupt
+//                          one engine's output to self-test the harness
+//   --repro-dir=<dir>      where minimal repro files are written (default .)
+//
 // Every numeric argument is parsed with the checked parse_arg helper: garbage,
 // trailing junk, and out-of-range values (k < 2, n < 1, negative seeds) are
 // rejected with exit code 2 instead of silently wrapping through std::atoi.
 //
 // Exit code 0 on success, 1 on "no stable matching", 2 on usage errors,
 // 3 when a solve was aborted (deadline/budget exhausted without --fallback,
-// or every fallback rung failed).
+// or every fallback rung failed), 4 when `kmatch verify` detected a
+// cross-engine mismatch (the minimal repro path is printed).
 
 #include <cstdint>
 #include <fstream>
@@ -55,6 +70,8 @@ bool g_fallback = false;
 std::size_t g_sweep_threads = 1;
 std::string g_stats_json;
 std::string g_stats_prom;
+/// `kmatch verify` knobs (defaults mirror verify::VerifyOptions).
+verify::VerifyOptions g_verify;
 /// Telemetry of the command's top-level solve, for --stats-json/--stats-prom.
 std::optional<obs::SolveTelemetry> g_telemetry;
 
@@ -74,10 +91,13 @@ int usage() {
                "  kmatch example [<name> <file>]   (no args: list catalog)\n"
                "  kmatch stats <file>\n"
                "  kmatch dot <file> tree|matching\n"
+               "  kmatch verify [verify flags]\n"
                "  kmatch info <file>\n"
                "flags: --deadline-ms=<ms>  --max-proposals=<n>  --fallback\n"
                "       --sweep-threads=<n>\n"
-               "       --stats-json=<file>  --stats-prom=<file>\n";
+               "       --stats-json=<file>  --stats-prom=<file>\n"
+               "verify flags: --seeds=<n>  --shape=<shape|all>  --dist=<dist>\n"
+               "       --base-seed=<n>  --sabotage=<mode>  --repro-dir=<dir>\n";
   return 2;
 }
 
@@ -375,6 +395,22 @@ int cmd_coalitions(int argc, char** argv) {
   return 0;
 }
 
+int cmd_verify(int argc, char** /*argv*/) {
+  if (argc != 2) return usage();  // everything is flag-driven
+  g_verify.pool_threads = g_sweep_threads > 1 ? g_sweep_threads : 0;
+  g_verify.report = &std::cout;  // mismatch/repro JSON lines to stdout
+  const auto summary = verify::run_verification(g_verify);
+  g_telemetry = summary.telemetry;
+  std::cerr << "verify: " << summary.seeds_run << " seeds, "
+            << summary.checks << " checks, " << summary.mismatch_count
+            << " mismatch(es) in " << summary.wall_ms << " ms\n";
+  if (summary.clean()) return 0;
+  for (const auto& path : summary.repro_paths) {
+    std::cerr << "minimal repro written to " << path << '\n';
+  }
+  return 4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -407,6 +443,46 @@ int main(int argc, char** argv) {
       g_sweep_threads = static_cast<std::size_t>(*threads);
     } else if (a == "--fallback") {
       g_fallback = true;
+    } else if (a.rfind("--seeds=", 0) == 0) {
+      const auto seeds =
+          parse_arg<std::int64_t>(a.c_str() + 8, 1, 100'000'000,
+                                  "--seeds value");
+      if (!seeds) return usage();
+      g_verify.seeds = *seeds;
+    } else if (a.rfind("--base-seed=", 0) == 0) {
+      const auto base = parse_arg<std::uint64_t>(
+          a.c_str() + 12, 0, std::numeric_limits<std::uint64_t>::max(),
+          "--base-seed value");
+      if (!base) return usage();
+      g_verify.base_seed = *base;
+    } else if (a.rfind("--shape=", 0) == 0) {
+      const std::string value = a.substr(8);
+      if (value == "all") {
+        g_verify.shapes = {verify::Shape::bipartite, verify::Shape::kpartite,
+                           verify::Shape::roommates};
+      } else if (const auto shape = verify::parse_shape(value)) {
+        g_verify.shapes = {*shape};
+      } else {
+        std::cerr << "unknown --shape '" << value << "'\n";
+        return usage();
+      }
+    } else if (a.rfind("--dist=", 0) == 0) {
+      const auto dist = verify::parse_dist(a.substr(7));
+      if (!dist) {
+        std::cerr << "unknown --dist '" << a.substr(7) << "'\n";
+        return usage();
+      }
+      g_verify.gen.dist = *dist;
+    } else if (a.rfind("--sabotage=", 0) == 0) {
+      const auto mode = verify::parse_sabotage(a.substr(11));
+      if (!mode) {
+        std::cerr << "unknown --sabotage '" << a.substr(11) << "'\n";
+        return usage();
+      }
+      g_verify.sabotage = *mode;
+    } else if (a.rfind("--repro-dir=", 0) == 0) {
+      g_verify.repro_dir = a.substr(12);
+      if (g_verify.repro_dir.empty()) return usage();
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << "unknown flag '" << a << "'\n";
       return usage();
@@ -428,6 +504,7 @@ int main(int argc, char** argv) {
     else if (cmd == "example") rc = cmd_example(nargs, args.data());
     else if (cmd == "stats") rc = cmd_stats(nargs, args.data());
     else if (cmd == "dot") rc = cmd_dot(nargs, args.data());
+    else if (cmd == "verify") rc = cmd_verify(nargs, args.data());
   } catch (const kstable::ExecutionAborted& e) {
     std::cerr << "aborted: " << e.what() << '\n';
     write_stats();  // aborted solves still export whatever was recorded

@@ -9,7 +9,10 @@
 #   * bad global-flag values (--deadline-ms=abc, --max-proposals=-1) exit 2;
 #   * the demo binaries reject garbage positional arguments the same way;
 #   * a gen -> kary --stats-json round trip produces a schema-valid stats
-#     file whose proposal count matches the solver's stdout.
+#     file whose proposal count matches the solver's stdout;
+#   * the `kmatch verify` exit-code contract: 0 on a clean differential
+#     sweep, 4 (plus a loadable minimal-repro file) when a sabotaged engine
+#     diverges, 2 on bad verify flags.
 set -u
 
 BIN_DIR="$1"
@@ -142,6 +145,41 @@ else
   else
     note_failure "kary best parallel/sequential outputs differ"
   fi
+fi
+
+# --- kmatch verify exit-code contract ---------------------------------------
+expect_usage_error "verify rejects unknown --shape" \
+  -- "$KMATCH" verify --shape=pentapartite
+expect_usage_error "verify rejects unknown --sabotage" \
+  -- "$KMATCH" verify --sabotage=bitflip
+expect_usage_error "verify rejects zero --seeds" \
+  -- "$KMATCH" verify --seeds=0
+expect_usage_error "verify rejects positional arguments" \
+  -- "$KMATCH" verify extra
+
+"$KMATCH" verify --seeds=10 --repro-dir="$WORK_DIR" \
+  >"$WORK_DIR/verify_clean.out" 2>/dev/null
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  note_failure "clean verify sweep exited $rc, expected 0"
+else
+  echo "ok: clean verify sweep exits 0"
+fi
+
+"$KMATCH" verify --seeds=2 --shape=kpartite --sabotage=kary_swap \
+  --repro-dir="$WORK_DIR" >"$WORK_DIR/verify_sab.out" 2>"$WORK_DIR/verify_sab.err"
+rc=$?
+REPRO="$WORK_DIR/kverify_repro_kpartite_1.kp"
+if [ "$rc" -ne 4 ]; then
+  note_failure "sabotaged verify sweep exited $rc, expected 4"
+elif ! grep -q '"check":"binding.sweep.bitwise"' "$WORK_DIR/verify_sab.out"; then
+  note_failure "sabotaged verify sweep printed no mismatch JSON"
+elif [ ! -f "$REPRO" ]; then
+  note_failure "sabotaged verify sweep wrote no minimal repro"
+elif ! "$KMATCH" info "$REPRO" >/dev/null; then
+  note_failure "minimal repro is not loadable by kmatch info"
+else
+  echo "ok: sabotaged verify exits 4 with a loadable minimal repro"
 fi
 
 if [ "$failures" -ne 0 ]; then

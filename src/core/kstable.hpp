@@ -19,6 +19,10 @@
 //   obs::*                      — observability: MetricsRegistry counters,
 //                                 per-solve SolveTelemetry, JSON/Prometheus
 //                                 exporters (docs/OBSERVABILITY.md)
+//   verify::*                   — cross-engine differential harness: seeded
+//                                 instance generation, the agreement battery,
+//                                 independent certificate checkers, and the
+//                                 delta-debugging shrinker (docs/VERIFY.md)
 #pragma once
 
 #include "analysis/assignment.hpp"
@@ -70,3 +74,8 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "verify/cert_checker.hpp"
+#include "verify/diff_runner.hpp"
+#include "verify/instance_gen.hpp"
+#include "verify/shrinker.hpp"
+#include "verify/verify.hpp"

@@ -7,11 +7,17 @@
 // the solve unwinds cleanly instead of running to completion or hanging.
 //
 // Cost discipline: a null control is one predictable branch per proposal. An
-// attached control costs one relaxed fetch_add plus one relaxed load; the
-// wall clock is only consulted every kClockStride charged units (amortized
-// checking), so deadlines add no measurable regression to the E1/E9 engine
-// benchmarks. ExecControl is thread-safe: the parallel executors share one
-// control across pool workers.
+// attached control costs one relaxed fetch_add plus two predictable branches
+// (the proposal-budget compare — plain arithmetic on the fetch_add result —
+// and the stride test); the cancellation token and the wall clock are only
+// consulted every kClockStride charged units (amortized checking), so
+// guarded engines show no measurable regression on the E1/E9 benchmarks. A
+// requested cancellation is therefore observed within at most kClockStride
+// charged units on the amortized path; check_now() stays unamortized — it
+// always consults the token, the proposal budget, and the clock — so coarse
+// checkpoints (per binding edge, per parallel round, cache waiters) keep
+// prompt abort latency. ExecControl is thread-safe: the parallel executors
+// share one control across pool workers.
 #pragma once
 
 #include <atomic>
@@ -72,27 +78,39 @@ class ExecControl {
       : budget_(budget), token_(std::move(token)) {}
 
   /// Records `events` units of work (proposals). Throws ExecutionAborted when
-  /// cancelled, over the proposal budget, or — checked only when the charge
-  /// counter crosses a kClockStride boundary — past the wall-clock deadline.
+  /// over the proposal budget (checked on every call — plain arithmetic on
+  /// the fetch_add result), or — checked only when the charge counter crosses
+  /// a kClockStride boundary — when cancelled or past the wall-clock
+  /// deadline. Amortizing the token's acquire load keeps the per-proposal
+  /// cost at one relaxed fetch_add plus predictable branches; a cancellation
+  /// is still observed within kClockStride charged units (and immediately at
+  /// the next check_now()).
   void charge(std::int64_t events = 1) {
     const std::int64_t before =
         spent_.fetch_add(events, std::memory_order_relaxed);
     const std::int64_t after = before + events;
-    if (token_.cancelled()) abort_now(AbortReason::cancelled, after);
     if (budget_.max_proposals > 0 && after > budget_.max_proposals) {
       abort_now(AbortReason::proposal_budget, after);
     }
-    if (budget_.wall_ms > 0.0 &&
-        before / kClockStride != after / kClockStride) {
-      check_deadline(after);
+    if (before / kClockStride != after / kClockStride) {
+      if (token_.cancelled()) abort_now(AbortReason::cancelled, after);
+      if (budget_.wall_ms > 0.0) check_deadline(after);
     }
   }
 
   /// Unamortized checkpoint for coarse boundaries (per binding edge, per
-  /// parallel round): always consults the cancellation flag and the clock.
+  /// parallel round, cache waiters): always consults the cancellation flag,
+  /// the proposal budget, and the clock. The budget comparison matters for
+  /// work the checkpoint owner never charged itself: a shared control pushed
+  /// over budget by other workers, or a driver whose own charges were
+  /// serviced from a cache, must still stop here rather than overrun the
+  /// budget indefinitely.
   void check_now() {
     const std::int64_t seen = spent_.load(std::memory_order_relaxed);
     if (token_.cancelled()) abort_now(AbortReason::cancelled, seen);
+    if (budget_.max_proposals > 0 && seen > budget_.max_proposals) {
+      abort_now(AbortReason::proposal_budget, seen);
+    }
     if (budget_.wall_ms > 0.0) check_deadline(seen);
   }
 

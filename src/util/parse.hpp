@@ -10,7 +10,9 @@
 // via their usage() instead of aborting.
 #pragma once
 
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <optional>
@@ -26,6 +28,16 @@ namespace kstable::util {
 template <typename T>
 [[nodiscard]] std::optional<T> parse_number(std::string_view text, T lo, T hi) {
   if (text.empty()) return std::nullopt;
+  // Both paths promise from_chars semantics: no leading whitespace, no '+'
+  // sign, no "inf"/"nan" words, no hex floats. from_chars enforces all of
+  // that for integers, but strtod is far laxer — it accepts " 5", "+5",
+  // "nan" (which compares false against BOTH range bounds and would leak
+  // through the [lo, hi] filter), "inf", and "0x1p3". Pre-reject any first
+  // character outside [-0-9.] so the two paths agree.
+  const char head = text.front();
+  const bool head_ok =
+      (head >= '0' && head <= '9') || head == '-' || head == '.';
+  if (!head_ok) return std::nullopt;
   T value{};
   const char* const first = text.data();
   const char* const last = first + text.size();
@@ -33,11 +45,27 @@ template <typename T>
   if constexpr (std::is_floating_point_v<T>) {
     // std::from_chars for double is C++17 but missing from some libstdc++
     // configurations; strtod with a full-consumption check is equivalent
-    // here (CLI arguments are NUL-terminated).
+    // here (CLI arguments are NUL-terminated) ONCE the input is restricted
+    // to the plain fixed/scientific alphabet — that restriction is what
+    // keeps hex floats ("0x1p3") and sign-prefixed "nan"/"inf" ("-inf"
+    // passes the first-char check) out of the strtod call.
+    for (const char c : text) {
+      const bool plain = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                         c == 'E' || c == '+' || c == '-';
+      if (!plain) return std::nullopt;
+    }
     char* end = nullptr;
     const std::string buffer(text);
+    errno = 0;
     value = static_cast<T>(std::strtod(buffer.c_str(), &end));
     if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+    // ERANGE covers both directions: "1e999" overflows to ±HUGE_VAL and
+    // "1e-999" silently underflows to (nearly) 0.0 — neither is the number
+    // the caller wrote, so both are rejected instead of passed through.
+    if (errno == ERANGE) return std::nullopt;
+    // Belt and braces: NaN never survives (it compares false against both
+    // range bounds below, so it would otherwise parse "successfully").
+    if (std::isnan(value)) return std::nullopt;
     result.ec = std::errc{};
     result.ptr = last;
   } else {

@@ -1,0 +1,400 @@
+#include "verify/diff_runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "core/binding.hpp"
+#include "core/gs_cache.hpp"
+#include "core/tree_sweep.hpp"
+#include "graph/binding_structure.hpp"
+#include "gs/parallel_gs.hpp"
+#include "gs/scan_gs.hpp"
+#include "resilience/control.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/solve_ladder.hpp"
+#include "roommates/adapters.hpp"
+#include "roommates/solver.hpp"
+#include "verify/cert_checker.hpp"
+
+namespace kstable::verify {
+namespace {
+
+/// Accumulates mismatches with the battery's replay provenance attached.
+struct Recorder {
+  BatteryResult* out;
+  Shape shape;
+  Dist dist;
+  std::uint64_t seed;
+  Gender k;
+  Index n;
+
+  void check(bool ok, const char* id, const std::string& detail) const {
+    ++out->checks;
+    if (!ok) {
+      out->mismatches.push_back(
+          Mismatch{id, detail, shape, dist, seed, k, n});
+    }
+  }
+
+  /// Certificate check as one relation: nullopt is agreement.
+  void cert(const std::optional<CertFailure>& failure, const char* id) const {
+    check(!failure.has_value(), id, failure ? failure->what : "");
+  }
+};
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string describe_diff(const std::vector<Index>& expected,
+                          const std::vector<Index>& got) {
+  std::ostringstream os;
+  const std::size_t limit = std::min(expected.size(), got.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (expected[i] != got[i]) {
+      os << "first divergence at index " << i << ": expected " << expected[i]
+         << ", got " << got[i];
+      return os.str();
+    }
+  }
+  os << "length mismatch: expected " << expected.size() << ", got "
+     << got.size();
+  return os.str();
+}
+
+/// GS engine cross-checks for one ordered gender pair. The queue engine is
+/// the reference; every other engine must reproduce its match arrays bitwise
+/// (GS confluence), and the sequential engines must also agree on the
+/// proposal count (each proposer walks exactly the prefix of its list down
+/// to its final partner, independent of order — the parallel engine's
+/// speculative proposals are exempt). Returns the reference result so the
+/// bipartite fair-SMP check can reuse it.
+gs::GsResult gs_engine_checks(const KPartiteInstance& inst, Gender i, Gender j,
+                              const Recorder& rec,
+                              const DiffOptions& options) {
+  auto reference = gs::gale_shapley_queue(inst, i, j);
+  rec.cert(check_gs_certificate(inst, i, j, reference), "gs.queue.cert");
+
+  auto compare = [&](const gs::GsResult& other, const char* id_bits,
+                     bool check_proposals, const char* id_props) {
+    const bool bits_ok = other.proposer_match == reference.proposer_match &&
+                         other.responder_match == reference.responder_match;
+    std::ostringstream os;
+    if (!bits_ok) {
+      os << "engine " << other.engine << " diverges from " << reference.engine
+         << " on GS(" << i << "," << j << "): "
+         << (other.proposer_match == reference.proposer_match
+                 ? describe_diff(reference.responder_match,
+                                 other.responder_match)
+                 : describe_diff(reference.proposer_match,
+                                 other.proposer_match));
+    }
+    rec.check(bits_ok, id_bits, os.str());
+    if (check_proposals) {
+      std::ostringstream ps;
+      ps << "GS(" << i << "," << j << "): " << reference.engine << " made "
+         << reference.proposals << " proposals, " << other.engine << " made "
+         << other.proposals;
+      rec.check(other.proposals == reference.proposals, id_props, ps.str());
+    }
+  };
+
+  compare(gs::gale_shapley_rounds(inst, i, j), "gs.engine.rounds.bitwise",
+          true, "gs.engine.rounds.proposals");
+
+  auto scan = gs::gale_shapley_scan(inst, i, j);
+  if (options.sabotage == Sabotage::gs_swap && i == 0 && j == 1) {
+    sabotage_gs_result(scan);
+  }
+  compare(scan, "gs.engine.scan.bitwise", true, "gs.engine.scan.proposals");
+
+  if (options.pool != nullptr) {
+    compare(gs::gale_shapley_parallel(inst, i, j, *options.pool, 8),
+            "gs.engine.parallel.bitwise", false, "");
+  }
+  return reference;
+}
+
+/// Binding-layer cross-checks on the path tree: sequential Algorithm 1 is
+/// the reference; TreeSweep, both cache policies, a cached replay, and the
+/// fallback ladder must all reproduce its matching bitwise.
+void binding_checks(const KPartiteInstance& inst, const Recorder& rec,
+                    const DiffOptions& options) {
+  const Gender k = inst.genders();
+  const auto path = trees::path(k);
+  const auto reference = core::iterative_binding(inst, path);
+  rec.cert(check_kary_certificate(inst, reference.matching(), path),
+           "binding.sequential.cert");
+
+  auto compare_matching = [&](const KaryMatching& other, const char* id,
+                              const char* label) {
+    std::ostringstream os;
+    if (!(other == reference.matching())) {
+      os << label << " matching diverges from sequential binding: "
+         << describe_diff(reference.matching().raw(), other.raw());
+    }
+    rec.check(other == reference.matching(), id, os.str());
+  };
+
+  {  // TreeSweep over the singleton candidate list.
+    const std::vector<BindingStructure> candidates{path};
+    auto sweep = core::sweep_trees(inst, candidates);
+    rec.check(sweep.succeeded() && sweep.best_index == 0,
+              "binding.sweep.winner",
+              "single-candidate sweep did not pick candidate 0");
+    if (sweep.succeeded()) {
+      KaryMatching swept = sweep.matching();
+      if (options.sabotage == Sabotage::kary_swap) {
+        swept = sabotage_kary(swept);
+      }
+      compare_matching(swept, "binding.sweep.bitwise", "tree-sweep");
+    }
+  }
+
+  for (const auto policy : {core::GsEdgeCache::Policy::single_flight,
+                            core::GsEdgeCache::Policy::duplicate}) {
+    core::GsEdgeCache cache(k, policy);
+    core::BindingOptions copts;
+    copts.cache = &cache;
+    const char* id = policy == core::GsEdgeCache::Policy::single_flight
+                         ? "binding.cache.single_flight.bitwise"
+                         : "binding.cache.duplicate.bitwise";
+    const auto cached = core::iterative_binding(inst, path, copts);
+    compare_matching(cached.matching(), id, "cached binding");
+    // Second pass replays every edge from the memo (all hits) — the replay
+    // must still be bitwise-identical and must execute zero proposals.
+    const auto replay = core::iterative_binding(inst, path, copts);
+    compare_matching(replay.matching(), "binding.cache.replay.bitwise",
+                     "cache-replay binding");
+    std::ostringstream os;
+    os << "cache replay executed " << replay.executed_proposals
+       << " proposals (hits " << replay.cache_hits << ", misses "
+       << replay.cache_misses << ")";
+    rec.check(replay.executed_proposals == 0 &&
+                  replay.cache_hits == static_cast<std::int64_t>(k) - 1,
+              "binding.cache.replay.free", os.str());
+  }
+
+  {  // Unconstrained ladder: attempt 0 is the path tree and must win.
+    resilience::FallbackOptions fopts;
+    const auto report = resilience::solve_with_fallback(inst, fopts);
+    rec.check(report.succeeded && report.rung == resilience::Rung::strict_tree,
+              "ladder.first-rung",
+              "unconstrained ladder did not succeed on the strict first rung");
+    if (report.succeeded) {
+      compare_matching(report.matching(), "ladder.bitwise", "ladder");
+    }
+  }
+
+  // Abort paths. Half the reference's own proposal budget must abort the
+  // solve, and the exhausted control must KEEP reporting the abort from
+  // check_now() (the bug class where check_now ignored the proposal budget).
+  if (reference.total_proposals >= 2) {
+    resilience::Budget budget;
+    budget.max_proposals = reference.total_proposals / 2;
+    resilience::ExecControl control(budget);
+    core::BindingOptions copts;
+    copts.control = &control;
+    bool threw = false;
+    try {
+      const auto partial = core::iterative_binding(inst, path, copts);
+      (void)partial;
+    } catch (const ExecutionAborted&) {
+      threw = true;
+    }
+    rec.check(threw, "abort.budget.thrown",
+              "binding under half its own proposal budget did not abort");
+    if (threw) {
+      bool still_aborted = false;
+      try {
+        control.check_now();
+      } catch (const ExecutionAborted& e) {
+        still_aborted = e.reason() == AbortReason::proposal_budget;
+      }
+      rec.check(still_aborted, "abort.check_now.budget",
+                "check_now() on an exhausted control did not re-report the "
+                "proposal-budget abort");
+    }
+  }
+
+  {  // A failed strict-only ladder must not claim any matching stable.
+    resilience::FallbackOptions fopts;
+    fopts.per_attempt.max_proposals = 1;
+    fopts.max_tree_attempts = 1;
+    fopts.allow_degraded = false;
+    const auto report = resilience::solve_with_fallback(inst, fopts);
+    const bool starved = inst.per_gender() >= 2;  // n = 1 fits in 1 proposal
+    if (starved) {
+      rec.check(!report.succeeded && !report.result.has_value(),
+                "abort.no-partial-result",
+                "exhausted strict-only ladder still carries a result");
+    }
+  }
+}
+
+/// Bipartite-only: Irving-based fair SMP against Gale-Shapley. man_oriented
+/// rotation elimination is documented to equal men-proposing GS, and
+/// woman_oriented women-proposing GS — a cross-algorithm agreement.
+void fair_smp_checks(const KPartiteInstance& inst, const gs::GsResult& gs01,
+                     const gs::GsResult& gs10, const Recorder& rec) {
+  const auto men = rm::solve_fair_smp(inst, 0, 1, rm::FairPolicy::man_oriented);
+  rec.check(men.has_stable, "smp.man_oriented.exists",
+            "fair SMP (man_oriented) found no stable matching on a bipartite "
+            "instance");
+  if (men.has_stable) {
+    rec.check(men.man_match == gs01.proposer_match, "smp.man_oriented.bitwise",
+              "fair SMP man_oriented diverges from men-proposing GS: " +
+                  describe_diff(gs01.proposer_match, men.man_match));
+  }
+  const auto women =
+      rm::solve_fair_smp(inst, 0, 1, rm::FairPolicy::woman_oriented);
+  rec.check(women.has_stable, "smp.woman_oriented.exists",
+            "fair SMP (woman_oriented) found no stable matching on a "
+            "bipartite instance");
+  if (women.has_stable) {
+    rec.check(
+        women.woman_match == gs10.proposer_match, "smp.woman_oriented.bitwise",
+        "fair SMP woman_oriented diverges from women-proposing GS: " +
+            describe_diff(gs10.proposer_match, women.woman_match));
+  }
+}
+
+/// Roommates derivations: each linearization of the k-partite instance is
+/// solved twice (bitwise determinism) and its verdict is cross-checked
+/// against BOTH stability checkers — the solver's own is_stable_matching and
+/// the independent raw-list certificate.
+void roommates_checks(const KPartiteInstance& inst, const Recorder& rec) {
+  for (const auto lin :
+       {rm::Linearization::round_robin, rm::Linearization::gender_blocks}) {
+    const char* label = lin == rm::Linearization::round_robin
+                            ? "round_robin"
+                            : "gender_blocks";
+    const auto rinst = rm::to_roommates(inst, lin);
+    const auto first = rm::solve(rinst);
+    const auto second = rm::solve(rinst);
+    std::ostringstream os;
+    os << "roommates solve under " << label
+       << " is not deterministic: has_stable " << first.has_stable << " vs "
+       << second.has_stable;
+    rec.check(first.has_stable == second.has_stable &&
+                  first.match == second.match &&
+                  first.phase1_proposals == second.phase1_proposals,
+              "roommates.determinism", os.str());
+    if (first.has_stable) {
+      rec.cert(check_roommates_certificate(rinst, first.match),
+               "roommates.cert");
+      rec.check(rm::is_stable_matching(rinst, first.match),
+                "roommates.self-check",
+                "rm::is_stable_matching rejects a matching the independent "
+                "certificate accepts");
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(Sabotage sabotage) noexcept {
+  switch (sabotage) {
+    case Sabotage::none: return "none";
+    case Sabotage::gs_swap: return "gs_swap";
+    case Sabotage::kary_swap: return "kary_swap";
+  }
+  return "unknown";
+}
+
+std::optional<Sabotage> parse_sabotage(std::string_view text) {
+  if (text == "none") return Sabotage::none;
+  if (text == "gs_swap") return Sabotage::gs_swap;
+  if (text == "kary_swap") return Sabotage::kary_swap;
+  return std::nullopt;
+}
+
+std::string Mismatch::to_json() const {
+  std::ostringstream os;
+  os << "{\"check\":\"" << json_escape(check) << "\",\"shape\":\""
+     << verify::to_string(shape) << "\",\"dist\":\"" << verify::to_string(dist)
+     << "\",\"seed\":" << seed << ",\"k\":" << k << ",\"n\":" << n
+     << ",\"detail\":\"" << json_escape(detail) << "\"}";
+  return os.str();
+}
+
+void sabotage_gs_result(gs::GsResult& result) {
+  if (result.proposer_match.size() < 2) return;
+  std::swap(result.proposer_match[0], result.proposer_match[1]);
+  for (std::size_t r = 0; r < result.responder_match.size(); ++r) {
+    if (result.responder_match[r] == 0) {
+      result.responder_match[r] = 1;
+    } else if (result.responder_match[r] == 1) {
+      result.responder_match[r] = 0;
+    }
+  }
+}
+
+KaryMatching sabotage_kary(const KaryMatching& matching) {
+  if (matching.per_gender() < 2) return matching;
+  auto families = matching.raw();
+  // Swap the gender-0 members of families 0 and 1: columns stay
+  // permutations (the corruption survives KaryMatching's constructor), but
+  // the family composition changes.
+  std::swap(families[0], families[static_cast<std::size_t>(matching.genders())]);
+  return KaryMatching(matching.genders(), matching.per_gender(),
+                      std::move(families));
+}
+
+BatteryResult run_battery(const KPartiteInstance& inst, Shape shape,
+                          const DiffOptions& options, Dist dist,
+                          std::uint64_t seed) {
+  BatteryResult result;
+  const Recorder rec{&result, shape, dist, seed,
+                     inst.genders(), inst.per_gender()};
+
+  std::optional<gs::GsResult> gs01;
+  std::optional<gs::GsResult> gs10;
+  for (Gender i = 0; i < inst.genders(); ++i) {
+    for (Gender j = 0; j < inst.genders(); ++j) {
+      if (i == j) continue;
+      auto reference = gs_engine_checks(inst, i, j, rec, options);
+      if (i == 0 && j == 1) gs01 = std::move(reference);
+      if (i == 1 && j == 0) gs10 = std::move(reference);
+    }
+  }
+
+  binding_checks(inst, rec, options);
+
+  if (shape == Shape::bipartite && inst.genders() == 2) {
+    fair_smp_checks(inst, *gs01, *gs10, rec);
+  }
+  if (shape == Shape::roommates) {
+    roommates_checks(inst, rec);
+  }
+  return result;
+}
+
+BatteryResult run_battery(const GeneratedInstance& gen,
+                          const DiffOptions& options) {
+  return run_battery(gen.instance, gen.shape, options, gen.dist, gen.seed);
+}
+
+}  // namespace kstable::verify

@@ -1,0 +1,145 @@
+#include "verify/shrinker.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kstable::verify {
+namespace {
+
+/// Copies every list of `src` into `dst` through the index maps:
+/// keep_gender[g] = new gender id (or -1 to drop), keep_index[i] = new member
+/// index (or -1 to drop). Dropped entries vanish from the surviving lists,
+/// preserving each list's relative order.
+KPartiteInstance rebuild(const KPartiteInstance& src,
+                         const std::vector<Gender>& keep_gender,
+                         const std::vector<Index>& keep_index, Gender new_k,
+                         Index new_n) {
+  KPartiteInstance out(new_k, new_n);
+  std::vector<Index> list;
+  list.reserve(static_cast<std::size_t>(new_n));
+  for (Gender g = 0; g < src.genders(); ++g) {
+    if (keep_gender[static_cast<std::size_t>(g)] < 0) continue;
+    for (Index i = 0; i < src.per_gender(); ++i) {
+      if (keep_index[static_cast<std::size_t>(i)] < 0) continue;
+      const MemberId m{g, i};
+      const MemberId new_m{keep_gender[static_cast<std::size_t>(g)],
+                           keep_index[static_cast<std::size_t>(i)]};
+      for (Gender h = 0; h < src.genders(); ++h) {
+        if (h == g || keep_gender[static_cast<std::size_t>(h)] < 0) continue;
+        list.clear();
+        for (const Index choice : src.pref_list(m, h)) {
+          const Index mapped = keep_index[static_cast<std::size_t>(choice)];
+          if (mapped >= 0) list.push_back(mapped);
+        }
+        out.set_pref_list(new_m, keep_gender[static_cast<std::size_t>(h)],
+                          list);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Index> identity_index_map(Index n) {
+  std::vector<Index> map(static_cast<std::size_t>(n));
+  std::iota(map.begin(), map.end(), Index{0});
+  return map;
+}
+
+}  // namespace
+
+std::optional<KPartiteInstance> remove_gender(const KPartiteInstance& inst,
+                                              Gender g) {
+  if (inst.genders() <= 2) return std::nullopt;
+  KSTABLE_REQUIRE(g >= 0 && g < inst.genders(),
+                  "remove_gender: gender " << g << " out of range");
+  std::vector<Gender> keep_gender(static_cast<std::size_t>(inst.genders()));
+  Gender next = 0;
+  for (Gender h = 0; h < inst.genders(); ++h) {
+    keep_gender[static_cast<std::size_t>(h)] = h == g ? Gender{-1} : next++;
+  }
+  return rebuild(inst, keep_gender, identity_index_map(inst.per_gender()),
+                 inst.genders() - 1, inst.per_gender());
+}
+
+std::optional<KPartiteInstance> remove_member(const KPartiteInstance& inst,
+                                              Index r) {
+  if (inst.per_gender() <= 1) return std::nullopt;
+  KSTABLE_REQUIRE(r >= 0 && r < inst.per_gender(),
+                  "remove_member: index " << r << " out of range");
+  std::vector<Gender> keep_gender(static_cast<std::size_t>(inst.genders()));
+  std::iota(keep_gender.begin(), keep_gender.end(), Gender{0});
+  std::vector<Index> keep_index(static_cast<std::size_t>(inst.per_gender()));
+  Index next = 0;
+  for (Index i = 0; i < inst.per_gender(); ++i) {
+    keep_index[static_cast<std::size_t>(i)] = i == r ? Index{-1} : next++;
+  }
+  return rebuild(inst, keep_gender, keep_index, inst.genders(),
+                 inst.per_gender() - 1);
+}
+
+std::optional<KPartiteInstance> canonicalize_list(const KPartiteInstance& inst,
+                                                  MemberId m, Gender g) {
+  const auto identity = identity_index_map(inst.per_gender());
+  const auto current = inst.pref_list(m, g);
+  if (std::equal(identity.begin(), identity.end(), current.begin(),
+                 current.end())) {
+    return std::nullopt;
+  }
+  KPartiteInstance out = inst;
+  out.set_pref_list(m, g, identity);
+  return out;
+}
+
+ShrinkResult shrink(const KPartiteInstance& start,
+                    const FailurePredicate& still_fails) {
+  KSTABLE_REQUIRE(still_fails(start),
+                  "shrink: the starting instance does not fail the predicate");
+  ShrinkResult result{start, 0, 0};
+
+  // Attempts one move; keeps it (and reports true) iff the failure survives.
+  auto attempt = [&](std::optional<KPartiteInstance> candidate) {
+    if (!candidate.has_value()) return false;
+    ++result.candidates_tried;
+    if (!still_fails(*candidate)) return false;
+    result.instance = std::move(*candidate);
+    ++result.reductions;
+    return true;
+  };
+
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    // Biggest cuts first: whole genders, then whole member indices. Restart
+    // the scan after every success — indices shift under the survivor.
+    for (Gender g = 0; g < result.instance.genders(); ++g) {
+      if (attempt(remove_gender(result.instance, g))) {
+        reduced = true;
+        g = -1;  // restart over the reduced instance
+      }
+    }
+    for (Index r = 0; r < result.instance.per_gender(); ++r) {
+      if (attempt(remove_member(result.instance, r))) {
+        reduced = true;
+        r = -1;
+      }
+    }
+    // List canonicalization last: it never changes the shape, so a single
+    // pass per round suffices (a canonicalized list stays canonical).
+    for (Gender g = 0; g < result.instance.genders(); ++g) {
+      for (Index i = 0; i < result.instance.per_gender(); ++i) {
+        for (Gender h = 0; h < result.instance.genders(); ++h) {
+          if (h == g) continue;
+          reduced |= attempt(
+              canonicalize_list(result.instance, MemberId{g, i}, h));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kstable::verify

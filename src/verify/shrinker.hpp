@@ -1,0 +1,67 @@
+// Shrinker: greedy delta debugging for differential-harness failures
+// (docs/VERIFY.md).
+//
+// Given a failing instance and a predicate "does this instance still fail?"
+// (re-running the battery), the shrinker repeatedly applies the largest
+// reduction that preserves the failure until none applies — a ddmin-style
+// greedy descent specialized to KPartiteInstance's completeness invariant.
+// Because instances are complete balanced k-partite systems, lists cannot be
+// truncated; the reduction moves are instead:
+//
+//   1. remove_gender  — drop a whole gender (k -> k-1, floor k = 2), with
+//                       every list over a later gender re-addressed;
+//   2. remove_member  — drop index r from EVERY gender (n -> n-1), with
+//                       surviving list entries > r shifted down;
+//   3. canonicalize_list — replace one member's list over one gender with
+//                       the identity order (the truncation analogue: a
+//                       canonical list carries no information, so every list
+//                       the minimal repro retains is load-bearing).
+//
+// Each move yields a VALID instance by construction, so the minimal repro is
+// loadable by the ordinary IO layer (io::save_file / kmatch's loaders) and
+// replays without the generator. Gender removal cannot preserve roommates- or
+// bipartite-shape failures that depend on gender identities beyond the first
+// two, but the predicate decides — moves that break the failure are simply
+// not taken.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "prefs/kpartite.hpp"
+
+namespace kstable::verify {
+
+/// Re-executes the battery (or any other oracle) on a candidate reduction;
+/// true = "still fails", i.e. the reduction is kept.
+using FailurePredicate = std::function<bool(const KPartiteInstance&)>;
+
+struct ShrinkResult {
+  KPartiteInstance instance;       ///< 1-minimal w.r.t. the moves above
+  std::int64_t candidates_tried = 0;  ///< predicate evaluations
+  std::int64_t reductions = 0;        ///< moves that preserved the failure
+};
+
+/// Greedy descent to a fixpoint: genders first (the biggest cut), then
+/// members, then list canonicalization. `still_fails(start)` must be true.
+ShrinkResult shrink(const KPartiteInstance& start,
+                    const FailurePredicate& still_fails);
+
+/// --- Reduction moves (exposed for the property tests) ---------------------
+
+/// Instance without gender `g`; nullopt when k would drop below 2.
+std::optional<KPartiteInstance> remove_gender(const KPartiteInstance& inst,
+                                              Gender g);
+
+/// Instance without member index `r` of every gender; nullopt when n would
+/// drop below 1.
+std::optional<KPartiteInstance> remove_member(const KPartiteInstance& inst,
+                                              Index r);
+
+/// Copy with m's list over gender `g` replaced by the identity order, or
+/// nullopt if it already is the identity.
+std::optional<KPartiteInstance> canonicalize_list(const KPartiteInstance& inst,
+                                                  MemberId m, Gender g);
+
+}  // namespace kstable::verify

@@ -3,6 +3,7 @@
 // and the tree-fallback solve ladder.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -63,16 +64,71 @@ TEST(ExecControl, ExpiredDeadlineAbortsAtCheckNow) {
   }
 }
 
-TEST(ExecControl, CancelledTokenAbortsNextCharge) {
+TEST(ExecControl, CancellationObservedWithinClockStrideCharges) {
+  // The token's acquire load is amortized onto the same kClockStride
+  // boundary as the wall clock, so a charge()-only loop must observe a
+  // cancellation within at most kClockStride further charged units — never
+  // later, and regardless of whether any budget is set.
   CancellationToken token;
   ExecControl control{Budget{}, token};
   control.charge();  // fine before cancellation
   token.request_cancel();
+  std::int64_t charges_after_cancel = 0;
   try {
-    control.charge();
-    FAIL() << "cancellation not observed";
+    for (std::int64_t i = 0; i <= ExecControl::kClockStride; ++i) {
+      control.charge();
+      ++charges_after_cancel;
+    }
+    FAIL() << "cancellation not observed within kClockStride charges";
   } catch (const ExecutionAborted& e) {
     EXPECT_EQ(e.reason(), AbortReason::cancelled);
+    EXPECT_LE(charges_after_cancel, ExecControl::kClockStride);
+  }
+}
+
+TEST(ExecControl, CancellationObservedImmediatelyAtCheckNow) {
+  // check_now() is the unamortized checkpoint: it must observe a
+  // cancellation at once, without waiting for a stride boundary.
+  CancellationToken token;
+  ExecControl control{Budget{}, token};
+  control.charge();
+  token.request_cancel();
+  try {
+    control.check_now();
+    FAIL() << "check_now did not observe the cancellation";
+  } catch (const ExecutionAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::cancelled);
+  }
+}
+
+TEST(ExecControl, CheckNowEnforcesProposalBudget) {
+  // Regression: check_now() used to consult only the token and the clock, so
+  // a solver that hits coarse checkpoints without charging (cache-served
+  // edges, or a shared control pushed over budget by other workers) could
+  // overrun a proposal budget indefinitely.
+  ExecControl control{Budget::proposals(10)};
+  control.charge(10);   // exactly at the limit: still fine
+  control.check_now();  // and check_now agrees
+  EXPECT_THROW(control.charge(10), ExecutionAborted);  // now over (spent=20)
+  try {
+    control.check_now();
+    FAIL() << "check_now ignored an exhausted proposal budget";
+  } catch (const ExecutionAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::proposal_budget);
+  }
+}
+
+TEST(ExecControl, ChargeStillChecksBudgetEveryCall) {
+  // The budget comparison is NOT amortized: it runs on the fetch_add result
+  // every call, so overruns are caught at the exact crossing charge.
+  ExecControl control{Budget::proposals(5)};
+  for (int i = 0; i < 5; ++i) control.charge();
+  try {
+    control.charge();
+    FAIL() << "budget crossing not caught immediately";
+  } catch (const ExecutionAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::proposal_budget);
+    EXPECT_EQ(control.spent(), 6);
   }
 }
 

@@ -2,12 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <set>
 #include <sstream>
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -215,6 +217,76 @@ TEST(Timer, UnitsAreConsistent) {
   const double s = timer.seconds();
   const double ms = timer.millis();
   EXPECT_NEAR(ms / 1000.0, s, 0.05);
+}
+
+// --- parse_number ----------------------------------------------------------
+
+TEST(ParseNumber, AcceptsPlainIntegersInRange) {
+  EXPECT_EQ(util::parse_number<int>("42", 0, 100), 42);
+  EXPECT_EQ(util::parse_number<int>("-3", -10, 10), -3);
+  EXPECT_EQ(util::parse_number<std::int64_t>("0", -1, 1), 0);
+}
+
+TEST(ParseNumber, AcceptsPlainDoubles) {
+  EXPECT_EQ(util::parse_number<double>("2.5", 0.0, 10.0), 2.5);
+  EXPECT_EQ(util::parse_number<double>("1e3", 0.0, 1e9), 1000.0);
+  EXPECT_EQ(util::parse_number<double>("-0.25", -1.0, 1.0), -0.25);
+  EXPECT_EQ(util::parse_number<double>(".5", 0.0, 1.0), 0.5);
+  EXPECT_EQ(util::parse_number<double>("1E+2", 0.0, 1e9), 100.0);
+}
+
+TEST(ParseNumber, RejectionTableBothPaths) {
+  // Every row must be rejected with from_chars semantics by BOTH the
+  // integral and the floating-point path (the strtod path used to accept
+  // several of these).
+  const char* rejected[] = {
+      "",       // empty
+      "nan",    // NaN compares false against both range bounds
+      "NAN",    //
+      "-nan",   // sign-prefixed NaN (first char passes; alphabet scan rejects)
+      "inf",    // infinity words
+      "-inf",   //
+      "infinity",
+      " 5",     // leading whitespace (strtod skips it; from_chars does not)
+      "\t5",    //
+      "+5",     // leading '+' (from_chars rejects)
+      "0x1p3",  // hex float (strtod parses it as 8.0)
+      "0X10",   //
+      "5x",     // trailing junk
+      "1e",     // dangling exponent
+      "--1",    //
+      "abc",    //
+  };
+  for (const char* text : rejected) {
+    EXPECT_FALSE(util::parse_number<double>(text, -1e18, 1e18).has_value())
+        << "double path accepted '" << text << "'";
+    EXPECT_FALSE(util::parse_number<std::int64_t>(text).has_value())
+        << "integer path accepted '" << text << "'";
+  }
+}
+
+TEST(ParseNumber, RejectsOverflowAndUnderflow) {
+  // "1e999" overflows to +inf with ERANGE; "1e-999" silently underflows to
+  // ~0.0 with ERANGE — both used to pass the [lo, hi] filter.
+  EXPECT_FALSE(util::parse_number<double>("1e999", 0.0, 1e308).has_value());
+  EXPECT_FALSE(util::parse_number<double>("-1e999", -1e308, 0.0).has_value());
+  EXPECT_FALSE(util::parse_number<double>("1e-999", 0.0, 1e9).has_value());
+  EXPECT_FALSE(
+      util::parse_number<std::int32_t>("99999999999999999999").has_value());
+}
+
+TEST(ParseNumber, RangeBoundsAreInclusive) {
+  EXPECT_EQ(util::parse_number<int>("10", 0, 10), 10);
+  EXPECT_EQ(util::parse_number<int>("0", 0, 10), 0);
+  EXPECT_FALSE(util::parse_number<int>("11", 0, 10).has_value());
+  EXPECT_FALSE(util::parse_number<int>("-1", 0, 10).has_value());
+  EXPECT_EQ(util::parse_number<double>("1.5", 1.5, 2.0), 1.5);
+  EXPECT_FALSE(util::parse_number<double>("1.49", 1.5, 2.0).has_value());
+}
+
+TEST(ParseNumber, IntegralPathStillRejectsFloatSyntax) {
+  EXPECT_FALSE(util::parse_number<int>("2.5", 0, 10).has_value());
+  EXPECT_FALSE(util::parse_number<int>("1e3", 0, 10000).has_value());
 }
 
 }  // namespace
