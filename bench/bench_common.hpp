@@ -18,14 +18,55 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
 
 #include "core/kstable.hpp"
 
 namespace kstable::benchsupport {
 
+/// CMAKE_BUILD_TYPE the binary was compiled under (stamped by
+/// bench/CMakeLists.txt), or "unknown" for out-of-tree builds.
+inline const char* build_type() {
+#if defined(KSTABLE_BUILD_TYPE)
+  return KSTABLE_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+/// True when the command line asks for a machine-readable result file.
+inline bool wants_benchmark_out(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// BENCH_*.json files feed EXPERIMENTS.md and cross-run comparisons, so a
+/// file produced by an unoptimized build is actively misleading. Refuse to
+/// emit one unless the binary was compiled as Release.
+inline bool refuse_non_release_export(int argc, char** argv) {
+  if (!wants_benchmark_out(argc, argv)) return false;
+  if (std::string_view(build_type()) == "Release") return false;
+  std::cerr << "refusing --benchmark_out: this binary was built as '"
+            << build_type()
+            << "', not Release — its timings are not comparable.\n"
+               "Reconfigure with -DCMAKE_BUILD_TYPE=Release (what "
+               "scripts/reproduce.sh does) or drop --benchmark_out.\n";
+  return true;
+}
+
 /// Adds every registered instrument as a "kstable.<name>" context entry
-/// (counters/gauges as the value, histograms as "sum/count").
+/// (counters/gauges as the value, histograms as "sum/count"), plus the
+/// build type and CPU count any timing comparison needs for context.
 inline void attach_metrics_context() {
+  benchmark::AddCustomContext("kstable.build_type", build_type());
+  benchmark::AddCustomContext(
+      "kstable.cpu_count", std::to_string(std::thread::hardware_concurrency()));
   for (const auto& s : kstable::obs::MetricsRegistry::global().snapshot()) {
     std::ostringstream value;
     if (s.kind == kstable::obs::MetricsRegistry::Sample::Kind::histogram) {
@@ -43,6 +84,8 @@ inline void attach_metrics_context() {
 /// metrics registry snapshot attached to the benchmark context/JSON output.
 #define KSTABLE_BENCH_MAIN(report_fn)                                   \
   int main(int argc, char** argv) {                                     \
+    if (::kstable::benchsupport::refuse_non_release_export(argc, argv)) \
+      return 2;                                                         \
     report_fn();                                                        \
     benchmark::Initialize(&argc, argv);                                 \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \

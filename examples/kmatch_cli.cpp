@@ -16,6 +16,16 @@
 //                                            emitted as JSON lines, the first
 //                                            failing seed is delta-debugged to
 //                                            a minimal loadable repro file
+//   kmatch serve --stdio|--port=<p>          long-lived matching service
+//                                            (docs/SERVE.md): bounded admission
+//                                            queue with load shedding,
+//                                            per-request deadlines, fallback
+//                                            degradation, graceful drain on
+//                                            SIGINT/SIGTERM
+//   kmatch ping --port=<p>                   bundled serve test client:
+//                                            windowed workload with SHED
+//                                            backoff, resend, reconnect, and
+//                                            duplicate-consistency checking
 //   kmatch info  <file>                      print instance dimensions
 //
 // Global flags (accepted anywhere on the command line):
@@ -47,6 +57,11 @@
 // 3 when a solve was aborted (deadline/budget exhausted without --fallback,
 // or every fallback rung failed), 4 when `kmatch verify` detected a
 // cross-engine mismatch (the minimal repro path is printed).
+//
+// `kmatch serve` exit codes (pinned by cli_regression): 2 on bad flags,
+// 0 after a clean drain, 3 when the drain deadline + grace elapsed with work
+// still in flight. `kmatch ping`: 0 when every request was acknowledged
+// exactly-once-consistently, 1 on lost or inconsistent responses, 2 usage.
 
 #include <cstdint>
 #include <fstream>
@@ -58,6 +73,10 @@
 
 #include "core/kstable.hpp"
 #include "example_args.hpp"
+#include "serve/client.hpp"
+#include "serve/engine.hpp"
+#include "serve/fd_stream.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -72,6 +91,36 @@ std::string g_stats_json;
 std::string g_stats_prom;
 /// `kmatch verify` knobs (defaults mirror verify::VerifyOptions).
 verify::VerifyOptions g_verify;
+/// `kmatch serve` knobs (defaults mirror serve::ServeLimits). The global
+/// --deadline-ms doubles as the server's default per-request deadline and
+/// --max-proposals as the per-request proposal cap.
+struct ServeFlags {
+  bool stdio = false;
+  std::optional<std::uint16_t> port;
+  std::size_t workers = 2;
+  std::size_t queue_depth = 16;
+  double max_deadline_ms = 10000.0;
+  double shed_retry_ms = 25.0;
+  double drain_deadline_ms = 2000.0;
+  double drain_grace_ms = 500.0;
+  std::int32_t tree_attempts = 2;
+  bool no_degraded = false;
+  std::string chaos;           ///< comma list of serve/* points, or "all"
+  std::uint64_t chaos_seed = 1;
+  double chaos_prob = 0.05;
+  double chaos_stall_ms = 250.0;
+} g_serve;
+/// `kmatch ping` knobs (defaults mirror serve::PingOptions).
+struct PingFlags {
+  std::size_t requests = 100;
+  std::size_t window = 8;
+  std::int32_t k = 3;
+  std::int32_t n = 4;
+  std::uint64_t seed = 1;
+  double response_timeout_ms = 2000.0;
+  std::string emit;         ///< write the workload as raw frames, don't connect
+  std::string metrics_out;  ///< scrape a STATS body after the workload
+} g_ping;
 /// Telemetry of the command's top-level solve, for --stats-json/--stats-prom.
 std::optional<obs::SolveTelemetry> g_telemetry;
 
@@ -92,12 +141,23 @@ int usage() {
                "  kmatch stats <file>\n"
                "  kmatch dot <file> tree|matching\n"
                "  kmatch verify [verify flags]\n"
+               "  kmatch serve --stdio|--port=<p> [serve flags]\n"
+               "  kmatch ping --port=<p> [ping flags]\n"
                "  kmatch info <file>\n"
                "flags: --deadline-ms=<ms>  --max-proposals=<n>  --fallback\n"
                "       --sweep-threads=<n>\n"
                "       --stats-json=<file>  --stats-prom=<file>\n"
                "verify flags: --seeds=<n>  --shape=<shape|all>  --dist=<dist>\n"
-               "       --base-seed=<n>  --sabotage=<mode>  --repro-dir=<dir>\n";
+               "       --base-seed=<n>  --sabotage=<mode>  --repro-dir=<dir>\n"
+               "serve flags: --workers=<n>  --queue-depth=<n>\n"
+               "       --max-deadline-ms=<ms>  --shed-retry-ms=<ms>\n"
+               "       --drain-deadline-ms=<ms>  --drain-grace-ms=<ms>\n"
+               "       --tree-attempts=<n>  --no-degraded\n"
+               "       --chaos=<all|point,...>  --chaos-seed=<n>\n"
+               "       --chaos-prob=<p>  --chaos-stall-ms=<ms>\n"
+               "ping flags: --requests=<n>  --window=<n>  --k=<k>  --n=<n>\n"
+               "       --seed=<n>  --response-timeout-ms=<ms>\n"
+               "       --emit=<file>  --metrics-out=<file>\n";
   return 2;
 }
 
@@ -395,6 +455,168 @@ int cmd_coalitions(int argc, char** argv) {
   return 0;
 }
 
+/// Arms the serve/* fault points named in --chaos. Returns false (usage) on
+/// an unknown point name.
+bool arm_serve_chaos(const std::string& spec) {
+  static constexpr struct {
+    const char* flag;
+    const char* point;
+  } kPoints[] = {
+      {"accept", "serve/accept"},       {"frame_parse", "serve/frame_parse"},
+      {"enqueue", "serve/enqueue"},     {"respond", "serve/respond"},
+      {"stall", "serve/stall"},
+  };
+  std::vector<std::string> chosen;
+  if (spec == "all") {
+    for (const auto& entry : kPoints) chosen.push_back(entry.point);
+  } else {
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::string name =
+          spec.substr(start, comma == std::string::npos ? comma : comma - start);
+      bool known = false;
+      for (const auto& entry : kPoints) {
+        if (name == entry.flag) {
+          chosen.push_back(entry.point);
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::cerr << "unknown --chaos point '" << name
+                  << "' (accept, frame_parse, enqueue, respond, stall, all)\n";
+        return false;
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    resilience::FaultConfig config;
+    config.probability = g_serve.chaos_prob;
+    config.seed = g_serve.chaos_seed + i;  // decorrelate the points' streams
+    config.max_fires = 0;                  // chaos is continuous, not one-shot
+    resilience::FaultRegistry::instance().arm(chosen[i], config);
+  }
+  return true;
+}
+
+int cmd_serve(int argc, char** /*argv*/) {
+  if (argc != 2) return usage();  // everything is flag-driven
+  if (g_serve.stdio == g_serve.port.has_value()) {
+    std::cerr << "kmatch serve needs exactly one of --stdio or --port=<p>\n";
+    return usage();
+  }
+  if (!g_serve.chaos.empty()) {
+#if defined(KSTABLE_NO_FAULT_INJECTION)
+    std::cerr << "--chaos needs a build with fault injection compiled in\n";
+    return 2;
+#else
+    if (!arm_serve_chaos(g_serve.chaos)) return usage();
+#endif
+  }
+
+  serve::ServeLimits limits;
+  limits.workers = g_serve.workers;
+  limits.queue_depth = g_serve.queue_depth;
+  if (g_budget.wall_ms > 0) limits.default_deadline_ms = g_budget.wall_ms;
+  limits.max_deadline_ms = g_serve.max_deadline_ms;
+  limits.shed_retry_ms = g_serve.shed_retry_ms;
+  limits.drain_deadline_ms = g_serve.drain_deadline_ms;
+  limits.drain_grace_ms = g_serve.drain_grace_ms;
+  limits.max_proposals = g_budget.max_proposals;
+  limits.max_tree_attempts = g_serve.tree_attempts;
+  limits.allow_degraded = !g_serve.no_degraded;
+  limits.chaos_stall_ms = g_serve.chaos_stall_ms;
+
+  serve::ServeEngine engine(limits, serve::make_stream_sink(std::cout));
+  serve::install_drain_signal_handlers(engine);
+
+  if (g_serve.stdio) {
+    // Raw fd 0, not std::cin: FdReadBuf maps EINTR to EOF, so a drain
+    // signal pops the blocked read and the pump returns.
+    serve::FdReadBuf in(0);
+    std::istream is(&in);
+    serve::pump_stream(engine, is);
+  } else {
+    serve::TcpServer server(engine, *g_serve.port);
+    // The smoke script parses this line to learn an ephemeral port.
+    std::cout << "listening on port " << server.port() << std::endl;
+    server.run();
+  }
+
+  const auto drain = engine.drain();
+  const auto& s = engine.stats();
+  std::cerr << "serve: received " << s.received.load() << ", completed "
+            << s.completed.load() << ", degraded " << s.degraded.load()
+            << ", shed " << s.shed.load() << ", timeout " << s.timed_out.load()
+            << ", error " << s.errors.load() << ", bad frames "
+            << s.bad_frames.load() << ", responses dropped "
+            << s.responses_dropped.load() << '\n';
+  std::cerr << "serve: drain " << (drain.clean ? "clean" : "EXCEEDED") << " in "
+            << drain.wall_ms << " ms"
+            << (drain.cancelled ? " (in-flight work cancelled)" : "")
+            << (drain.clean ? std::string{}
+                            : ", " + std::to_string(drain.abandoned) +
+                                  " request(s) still running")
+            << '\n';
+  return drain.clean ? 0 : 3;
+}
+
+int cmd_ping(int argc, char** /*argv*/) {
+  if (argc != 2) return usage();  // everything is flag-driven
+  serve::PingOptions options;
+  options.port = g_serve.port.value_or(0);
+  options.requests = g_ping.requests;
+  options.window = g_ping.window;
+  options.k = g_ping.k;
+  options.n = g_ping.n;
+  options.seed = g_ping.seed;
+  options.deadline_ms = g_budget.wall_ms;
+  options.response_timeout_ms = g_ping.response_timeout_ms;
+
+  if (!g_ping.emit.empty()) {  // offline: write the workload as raw frames
+    std::ofstream out(g_ping.emit, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write frames to '" << g_ping.emit << "'\n";
+      return 2;
+    }
+    serve::emit_request_frames(options, out);
+    std::cout << "wrote " << options.requests << " frames to " << g_ping.emit
+              << '\n';
+    return 0;
+  }
+
+  if (!g_serve.port.has_value() || *g_serve.port == 0) {
+    std::cerr << "kmatch ping needs --port=<p> (1..65535)\n";
+    return usage();
+  }
+  const bool fetch_metrics = !g_ping.metrics_out.empty();
+  const auto report = serve::run_ping(options, fetch_metrics);
+  std::cout << "ping: " << options.requests << " requests, acked "
+            << report.acked << " (ok " << report.ok << ", degraded "
+            << report.degraded << ", timeout " << report.timeouts << ", error "
+            << report.errors << "), shed-retries " << report.shed_retries
+            << ", resends " << report.resends << ", reconnects "
+            << report.reconnects << ", duplicates " << report.duplicates
+            << ", lost " << report.lost << ", inconsistent "
+            << report.inconsistent << '\n';
+  if (fetch_metrics) {
+    if (report.metrics_body.empty()) {
+      std::cerr << "no STATS response for the metrics scrape\n";
+      return 1;
+    }
+    std::ofstream out(g_ping.metrics_out);
+    if (!out) {
+      std::cerr << "cannot write metrics to '" << g_ping.metrics_out << "'\n";
+      return 2;
+    }
+    out << report.metrics_body << '\n';
+  }
+  return report.success() ? 0 : 1;
+}
+
 int cmd_verify(int argc, char** /*argv*/) {
   if (argc != 2) return usage();  // everything is flag-driven
   g_verify.pool_threads = g_sweep_threads > 1 ? g_sweep_threads : 0;
@@ -443,6 +665,106 @@ int main(int argc, char** argv) {
       g_sweep_threads = static_cast<std::size_t>(*threads);
     } else if (a == "--fallback") {
       g_fallback = true;
+    } else if (a == "--stdio") {
+      g_serve.stdio = true;
+    } else if (a.rfind("--port=", 0) == 0) {
+      const auto port =
+          parse_arg<std::int64_t>(a.c_str() + 7, 0, 65535, "--port value");
+      if (!port) return usage();
+      g_serve.port = static_cast<std::uint16_t>(*port);
+    } else if (a.rfind("--workers=", 0) == 0) {
+      const auto workers =
+          parse_arg<std::int64_t>(a.c_str() + 10, 1, 1024, "--workers value");
+      if (!workers) return usage();
+      g_serve.workers = static_cast<std::size_t>(*workers);
+    } else if (a.rfind("--queue-depth=", 0) == 0) {
+      const auto depth = parse_arg<std::int64_t>(a.c_str() + 14, 1, 1'000'000,
+                                                 "--queue-depth value");
+      if (!depth) return usage();
+      g_serve.queue_depth = static_cast<std::size_t>(*depth);
+    } else if (a.rfind("--max-deadline-ms=", 0) == 0) {
+      const auto value = parse_arg<double>(a.c_str() + 18, 1.0, 1e15,
+                                           "--max-deadline-ms value");
+      if (!value) return usage();
+      g_serve.max_deadline_ms = *value;
+    } else if (a.rfind("--shed-retry-ms=", 0) == 0) {
+      const auto value = parse_arg<double>(a.c_str() + 16, 0.0, 1e9,
+                                           "--shed-retry-ms value");
+      if (!value) return usage();
+      g_serve.shed_retry_ms = *value;
+    } else if (a.rfind("--drain-deadline-ms=", 0) == 0) {
+      const auto value = parse_arg<double>(a.c_str() + 20, 0.0, 1e9,
+                                           "--drain-deadline-ms value");
+      if (!value) return usage();
+      g_serve.drain_deadline_ms = *value;
+    } else if (a.rfind("--drain-grace-ms=", 0) == 0) {
+      const auto value = parse_arg<double>(a.c_str() + 17, 0.0, 1e9,
+                                           "--drain-grace-ms value");
+      if (!value) return usage();
+      g_serve.drain_grace_ms = *value;
+    } else if (a.rfind("--tree-attempts=", 0) == 0) {
+      const auto value = parse_arg<std::int32_t>(a.c_str() + 16, 0, 64,
+                                                 "--tree-attempts value");
+      if (!value) return usage();
+      g_serve.tree_attempts = *value;
+    } else if (a == "--no-degraded") {
+      g_serve.no_degraded = true;
+    } else if (a.rfind("--chaos=", 0) == 0) {
+      g_serve.chaos = a.substr(8);
+      if (g_serve.chaos.empty()) return usage();
+    } else if (a.rfind("--chaos-seed=", 0) == 0) {
+      const auto value = parse_arg<std::uint64_t>(
+          a.c_str() + 13, 0, std::numeric_limits<std::uint64_t>::max(),
+          "--chaos-seed value");
+      if (!value) return usage();
+      g_serve.chaos_seed = *value;
+    } else if (a.rfind("--chaos-prob=", 0) == 0) {
+      const auto value =
+          parse_arg<double>(a.c_str() + 13, 0.0, 1.0, "--chaos-prob value");
+      if (!value) return usage();
+      g_serve.chaos_prob = *value;
+    } else if (a.rfind("--chaos-stall-ms=", 0) == 0) {
+      const auto value = parse_arg<double>(a.c_str() + 17, 0.0, 1e9,
+                                           "--chaos-stall-ms value");
+      if (!value) return usage();
+      g_serve.chaos_stall_ms = *value;
+    } else if (a.rfind("--requests=", 0) == 0) {
+      const auto value = parse_arg<std::int64_t>(a.c_str() + 11, 1, 10'000'000,
+                                                 "--requests value");
+      if (!value) return usage();
+      g_ping.requests = static_cast<std::size_t>(*value);
+    } else if (a.rfind("--window=", 0) == 0) {
+      const auto value =
+          parse_arg<std::int64_t>(a.c_str() + 9, 1, 4096, "--window value");
+      if (!value) return usage();
+      g_ping.window = static_cast<std::size_t>(*value);
+    } else if (a.rfind("--k=", 0) == 0) {
+      const auto value = parse_arg<std::int32_t>(a.c_str() + 4, 2, 64,
+                                                 "--k value");
+      if (!value) return usage();
+      g_ping.k = *value;
+    } else if (a.rfind("--n=", 0) == 0) {
+      const auto value = parse_arg<std::int32_t>(a.c_str() + 4, 1, 4096,
+                                                 "--n value");
+      if (!value) return usage();
+      g_ping.n = *value;
+    } else if (a.rfind("--seed=", 0) == 0) {
+      const auto value = parse_arg<std::uint64_t>(
+          a.c_str() + 7, 0, std::numeric_limits<std::uint64_t>::max(),
+          "--seed value");
+      if (!value) return usage();
+      g_ping.seed = *value;
+    } else if (a.rfind("--response-timeout-ms=", 0) == 0) {
+      const auto value = parse_arg<double>(a.c_str() + 22, 1.0, 1e9,
+                                           "--response-timeout-ms value");
+      if (!value) return usage();
+      g_ping.response_timeout_ms = *value;
+    } else if (a.rfind("--emit=", 0) == 0) {
+      g_ping.emit = a.substr(7);
+      if (g_ping.emit.empty()) return usage();
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      g_ping.metrics_out = a.substr(14);
+      if (g_ping.metrics_out.empty()) return usage();
     } else if (a.rfind("--seeds=", 0) == 0) {
       const auto seeds =
           parse_arg<std::int64_t>(a.c_str() + 8, 1, 100'000'000,
@@ -505,6 +827,8 @@ int main(int argc, char** argv) {
     else if (cmd == "stats") rc = cmd_stats(nargs, args.data());
     else if (cmd == "dot") rc = cmd_dot(nargs, args.data());
     else if (cmd == "verify") rc = cmd_verify(nargs, args.data());
+    else if (cmd == "serve") rc = cmd_serve(nargs, args.data());
+    else if (cmd == "ping") rc = cmd_ping(nargs, args.data());
   } catch (const kstable::ExecutionAborted& e) {
     std::cerr << "aborted: " << e.what() << '\n';
     write_stats();  // aborted solves still export whatever was recorded

@@ -12,7 +12,10 @@ Checks (stdlib only, no third-party deps):
     {"count","sum","buckets"} histogram objects;
   * with --solved: telemetry is present, ok, with positive wall_ms/proposals;
   * with --expect-proposals N: telemetry.proposals == N (cross-checked against
-    the solver's stdout by the CTest wrapper).
+    the solver's stdout by the CTest wrapper);
+  * with --serve: the serve.* instrument set is present and the accounting
+    invariant holds — every received request reached exactly one terminal
+    outcome (received == completed + degraded + shed + timeout + error).
 
 Exits 0 when valid, 1 with a diagnostic on stderr otherwise.
 """
@@ -38,6 +41,17 @@ TELEMETRY_KEYS = {
 }
 
 STATUS_KEYS = {"outcome": str, "abort_reason": str, "detail": str}
+
+SERVE_OUTCOMES = (
+    "serve.requests.completed",
+    "serve.requests.degraded",
+    "serve.requests.shed",
+    "serve.requests.timeout",
+    "serve.requests.error",
+)
+
+SERVE_REQUIRED = ("serve.requests.received", "serve.responses.sent") \
+    + SERVE_OUTCOMES
 
 
 def fail(message):
@@ -81,6 +95,23 @@ def check_metrics(metrics):
         fail(f"metric '{name}' is neither int nor histogram object")
 
 
+def check_serve(metrics):
+    for name in SERVE_REQUIRED:
+        if name not in metrics:
+            fail(f"--serve: metrics missing '{name}'")
+        if not isinstance(metrics[name], int):
+            fail(f"--serve: '{name}' is not an int counter")
+    received = metrics["serve.requests.received"]
+    if received <= 0:
+        fail("--serve: no requests were received")
+    settled = sum(metrics[name] for name in SERVE_OUTCOMES)
+    if received != settled:
+        detail = ", ".join(f"{n.split('.')[-1]}={metrics[n]}"
+                           for n in SERVE_OUTCOMES)
+        fail(f"--serve: accounting broken — received={received} but "
+             f"outcomes sum to {settled} ({detail})")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("stats_file")
@@ -88,6 +119,9 @@ def main():
     parser.add_argument("--solved", action="store_true",
                         help="require an ok telemetry record with nonzero "
                              "timing and proposals")
+    parser.add_argument("--serve", action="store_true",
+                        help="require the serve.* instrument set and the "
+                             "request-accounting invariant")
     args = parser.parse_args()
 
     try:
@@ -127,6 +161,8 @@ def main():
         if telemetry["proposals"] != args.expect_proposals:
             fail(f"proposals {telemetry['proposals']} != "
                  f"expected {args.expect_proposals}")
+    if args.serve:
+        check_serve(stats["metrics"])
 
     print(f"check_stats_json: OK ({args.stats_file})")
 

@@ -12,7 +12,10 @@
 #     file whose proposal count matches the solver's stdout;
 #   * the `kmatch verify` exit-code contract: 0 on a clean differential
 #     sweep, 4 (plus a loadable minimal-repro file) when a sabotaged engine
-#     diverges, 2 on bad verify flags.
+#     diverges, 2 on bad verify flags;
+#   * the `kmatch serve` / `kmatch ping` exit-code contract: bad transport
+#     flags exit 2, a clean stdio drain exits 0, a drain that cannot meet
+#     its deadline exits 3, and `ping` without a reachable server exits 1.
 set -u
 
 BIN_DIR="$1"
@@ -180,6 +183,80 @@ elif ! "$KMATCH" info "$REPRO" >/dev/null; then
   note_failure "minimal repro is not loadable by kmatch info"
 else
   echo "ok: sabotaged verify exits 4 with a loadable minimal repro"
+fi
+
+# --- kmatch serve / ping exit-code contract ---------------------------------
+expect_usage_error "serve needs --stdio or --port" \
+  -- "$KMATCH" serve
+expect_usage_error "serve rejects --stdio combined with --port" \
+  -- "$KMATCH" serve --stdio --port=4242
+expect_usage_error "serve rejects out-of-range --port" \
+  -- "$KMATCH" serve --port=99999
+expect_usage_error "serve rejects non-numeric --port" \
+  -- "$KMATCH" serve --port=abc
+expect_usage_error "serve rejects zero --workers" \
+  -- "$KMATCH" serve --stdio --workers=0
+expect_usage_error "serve rejects zero --queue-depth" \
+  -- "$KMATCH" serve --stdio --queue-depth=0
+expect_usage_error "serve rejects unknown --chaos point" \
+  -- "$KMATCH" serve --stdio --chaos=meteor
+expect_usage_error "ping needs --port" \
+  -- "$KMATCH" ping
+expect_usage_error "ping rejects out-of-range --port" \
+  -- "$KMATCH" ping --port=99999
+expect_usage_error "ping rejects zero --requests" \
+  -- "$KMATCH" ping --port=4242 --requests=0
+
+FRAMES="$WORK_DIR/serve_reg.frames"
+if ! "$KMATCH" ping --emit="$FRAMES" --requests=3 --seed=5 >/dev/null; then
+  note_failure "ping --emit failed to write a frame file"
+else
+  "$KMATCH" serve --stdio <"$FRAMES" >"$WORK_DIR/serve_reg.out" \
+    2>"$WORK_DIR/serve_reg.err"
+  rc=$?
+  responses="$(grep -c '^kmatch/1 OK ' "$WORK_DIR/serve_reg.out")"
+  if [ "$rc" -ne 0 ]; then
+    note_failure "clean stdio drain exited $rc, expected 0"
+  elif ! grep -q "drain clean" "$WORK_DIR/serve_reg.err"; then
+    note_failure "clean stdio serve did not report a clean drain"
+  elif [ "$responses" -ne 3 ]; then
+    note_failure "stdio serve answered $responses/3 requests"
+  else
+    echo "ok: stdio serve answers every frame and drains with exit 0"
+  fi
+
+  # Drain-deadline breach: every solve wedges on a 2 s injected stall, the
+  # drain deadline is 50 ms, and the 50 ms grace cannot outlast the stall —
+  # the server must give up and report the breach via exit 3. Skipped on
+  # -DKSTABLE_FAULT_INJECTION=OFF builds, where --chaos itself exits 2.
+  "$KMATCH" serve --stdio --chaos=stall --chaos-prob=1 --chaos-stall-ms=2000 \
+    --drain-deadline-ms=50 --drain-grace-ms=50 <"$FRAMES" \
+    >/dev/null 2>"$WORK_DIR/serve_reg_stall.err"
+  rc=$?
+  if grep -q "fault injection compiled in" "$WORK_DIR/serve_reg_stall.err"; then
+    echo "ok: drain-breach case skipped (fault injection compiled out)"
+  elif [ "$rc" -ne 3 ]; then
+    note_failure "wedged drain exited $rc, expected 3"
+  elif ! grep -q "drain EXCEEDED" "$WORK_DIR/serve_reg_stall.err"; then
+    note_failure "wedged drain did not report EXCEEDED"
+  else
+    echo "ok: drain-deadline breach exits 3"
+  fi
+fi
+
+# A ping against a port nobody listens on must report the loss via exit 1
+# (connect retries are bounded by --response-timeout-ms-scaled waits; keep
+# the run tiny so the bounded retry window stays short).
+KMATCH_PING_START=$(date +%s)
+"$KMATCH" ping --port=1 --requests=1 --response-timeout-ms=100 \
+  >"$WORK_DIR/ping_dead.out" 2>/dev/null
+rc=$?
+if [ "$rc" -ne 1 ]; then
+  note_failure "ping against a dead port exited $rc, expected 1"
+elif ! grep -q "lost 1" "$WORK_DIR/ping_dead.out"; then
+  note_failure "ping against a dead port did not report the request lost"
+else
+  echo "ok: ping against a dead port exits 1 ($(( $(date +%s) - KMATCH_PING_START ))s)"
 fi
 
 if [ "$failures" -ne 0 ]; then

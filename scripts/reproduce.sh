@@ -15,7 +15,9 @@ on_error() {
 }
 trap 'on_error $LINENO' ERR
 
-cmake -B build -G Ninja
+# Release explicitly: the bench binaries refuse --benchmark_out from any
+# other build type (BENCH_*.json timings must be comparable across runs).
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt.partial

@@ -21,6 +21,11 @@
 //   core/binding_edge           before each binding edge's GS run
 //   core/parallel_round         before each parallel-executor round
 //   rm/rotation                 before each rotation elimination
+//   serve/accept                after each TCP accept, before the reader
+//   serve/frame_parse           after a frame's bytes are fully consumed
+//   serve/enqueue               between frame parse and admission
+//   serve/respond               before each response write
+//   serve/stall                 start of each admitted solve (wedged worker)
 #pragma once
 
 #include <atomic>

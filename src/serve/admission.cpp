@@ -1,0 +1,72 @@
+#include "serve/admission.hpp"
+
+#include <chrono>
+
+namespace kstable::serve {
+
+AdmissionController::Ticket AdmissionController::try_admit(
+    double base_retry_ms) noexcept {
+  Ticket ticket;
+  if (closed_.load(std::memory_order_acquire)) {
+    // Draining: the hint tells clients to come back after a restart, not to
+    // hammer a server that is going away.
+    ticket.retry_after_ms = base_retry_ms * 4.0;
+    return ticket;
+  }
+  // CAS loop: pending_ may be raced by other reader/connection threads.
+  std::size_t depth = pending_.load(std::memory_order_relaxed);
+  while (depth < queue_depth_) {
+    if (pending_.compare_exchange_weak(depth, depth + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      ticket.admitted = true;
+      return ticket;
+    }
+  }
+  // Shed: scale the hint with how far past capacity the backlog sits, so
+  // the client's backoff is proportional to the overload (deterministic —
+  // no randomness; jitter is the client's job).
+  const double backlog =
+      static_cast<double>(in_flight()) / static_cast<double>(queue_depth_);
+  ticket.retry_after_ms = base_retry_ms * (1.0 + backlog);
+  return ticket;
+}
+
+void AdmissionController::on_start() noexcept {
+  running_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void AdmissionController::on_finish() noexcept {
+  const std::size_t before = running_.fetch_sub(1, std::memory_order_acq_rel);
+  if (before == 1 && pending_.load(std::memory_order_acquire) == 0) {
+    // Possibly idle; wake waiters (they re-check under the lock).
+    std::scoped_lock lock(mutex_);
+    idle_.notify_all();
+  }
+}
+
+void AdmissionController::on_abandoned() noexcept {
+  const std::size_t before = pending_.fetch_sub(1, std::memory_order_acq_rel);
+  if (before == 1 && running_.load(std::memory_order_acquire) == 0) {
+    std::scoped_lock lock(mutex_);
+    idle_.notify_all();
+  }
+}
+
+void AdmissionController::close() noexcept {
+  closed_.store(true, std::memory_order_release);
+  std::scoped_lock lock(mutex_);
+  idle_.notify_all();
+}
+
+bool AdmissionController::await_idle(double deadline_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
+  std::unique_lock lock(mutex_);
+  return idle_.wait_until(lock, deadline, [this] { return in_flight() == 0; });
+}
+
+}  // namespace kstable::serve

@@ -1,0 +1,88 @@
+// Bounded admission control for the matching service: the component that
+// turns overload into fast, honest SHED responses instead of unbounded
+// queueing (ISSUE: the server must stay up under offered load well above
+// capacity).
+//
+// Model: a request that passes try_admit() is "in flight" from admission
+// until release — first pending (admitted, sitting in the pool's queue),
+// then running (a worker picked it up). Admission is denied when the
+// pending backlog has reached `queue_depth` or the controller was closed
+// for drain; the returned retry-after hint grows deterministically with the
+// backlog so a well-behaved client (kmatch ping) backs off harder the
+// deeper the overload.
+//
+// Drain protocol (what ServeEngine::drain and the SIGTERM path use):
+//   close()       — every later try_admit sheds; in-flight work continues.
+//   await_idle(ms)— blocks until in_flight() == 0 or the deadline passes.
+// The controller never owns threads; it is a counter + condvar, safe to
+// call from the reader thread, pool workers, and the signal-driven drain
+// concurrently.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace kstable::serve {
+
+class AdmissionController {
+ public:
+  /// `queue_depth` bounds the admitted-but-not-started backlog (>= 1).
+  explicit AdmissionController(std::size_t queue_depth)
+      : queue_depth_(queue_depth) {}
+
+  struct Ticket {
+    bool admitted = false;
+    double retry_after_ms = 0.0;  ///< set when shed
+  };
+
+  /// Admits the request (pending++) or sheds it with a backlog-scaled
+  /// retry-after hint derived from `base_retry_ms`.
+  Ticket try_admit(double base_retry_ms) noexcept;
+
+  /// A worker started an admitted request: pending-- running++.
+  void on_start() noexcept;
+
+  /// An admitted request finished (any outcome). Wakes await_idle waiters
+  /// when the controller goes idle.
+  void on_finish() noexcept;
+
+  /// An admitted request was destroyed before any worker started it (e.g.
+  /// an injected "thread_pool/task" fault dropped the task unrun): releases
+  /// the pending slot without touching the running count.
+  void on_abandoned() noexcept;
+
+  /// Enters drain mode: every subsequent try_admit sheds.
+  void close() noexcept;
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until no request is in flight or `deadline_ms` elapsed.
+  /// Returns true when idle was reached.
+  bool await_idle(double deadline_ms);
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return pending() + running();
+  }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_depth_;
+  }
+
+ private:
+  const std::size_t queue_depth_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> running_{0};
+  std::atomic<bool> closed_{false};
+  std::mutex mutex_;
+  std::condition_variable idle_;
+};
+
+}  // namespace kstable::serve

@@ -1,0 +1,151 @@
+#include "serve/protocol.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "resilience/errors.hpp"
+#include "resilience/fault_injection.hpp"
+#include "util/parse.hpp"
+
+namespace kstable::serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "kmatch/1";
+
+struct KindName {
+  FrameKind kind;
+  std::string_view name;
+};
+constexpr std::array<KindName, 10> kKindNames{{
+    {FrameKind::solve, "SOLVE"},
+    {FrameKind::ping, "PING"},
+    {FrameKind::metrics, "METRICS"},
+    {FrameKind::ok, "OK"},
+    {FrameKind::degraded, "DEGRADED"},
+    {FrameKind::shed, "SHED"},
+    {FrameKind::timeout, "TIMEOUT"},
+    {FrameKind::error, "ERROR"},
+    {FrameKind::pong, "PONG"},
+    {FrameKind::stats, "STATS"},
+}};
+
+FrameKind kind_of(std::string_view token) noexcept {
+  for (const auto& entry : kKindNames) {
+    if (entry.name == token) return entry.kind;
+  }
+  return FrameKind::unknown;
+}
+
+}  // namespace
+
+const char* to_string(FrameKind kind) noexcept {
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name.data();
+  }
+  return "UNKNOWN";
+}
+
+std::optional<Frame> read_frame(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) return std::nullopt;  // clean EOF
+  KSTABLE_PARSE_REQUIRE(header.rfind(kMagic, 0) == 0 &&
+                            header.size() > kMagic.size() &&
+                            header[kMagic.size()] == ' ',
+                        "frame header does not start with 'kmatch/1 '");
+
+  Frame frame;
+  std::istringstream tokens(header.substr(kMagic.size() + 1));
+  std::string token;
+  KSTABLE_PARSE_REQUIRE(tokens >> token, "frame header missing kind token");
+  frame.kind = kind_of(token);
+
+  std::optional<std::uint64_t> id;
+  std::optional<std::size_t> len;
+  while (tokens >> token) {
+    const auto eq = token.find('=');
+    KSTABLE_PARSE_REQUIRE(eq != std::string::npos && eq > 0,
+                          "frame attribute '" << token << "' is not key=value");
+    const std::string key = token.substr(0, eq);
+    const char* value = token.c_str() + eq + 1;
+    if (key == "id") {
+      id = util::parse_number<std::uint64_t>(
+          value, 0, std::numeric_limits<std::uint64_t>::max());
+      KSTABLE_PARSE_REQUIRE(id.has_value(), "bad frame id '" << value << "'");
+    } else if (key == "len") {
+      const auto parsed =
+          util::parse_number<std::uint64_t>(value, 0, kMaxBodyBytes);
+      KSTABLE_PARSE_REQUIRE(parsed.has_value(),
+                            "bad frame len '" << value << "' (max "
+                                              << kMaxBodyBytes << ")");
+      len = static_cast<std::size_t>(*parsed);
+    } else if (key == "deadline_ms") {
+      const auto parsed = util::parse_number<double>(value, 0.0, 1e15);
+      KSTABLE_PARSE_REQUIRE(parsed.has_value(),
+                            "bad frame deadline_ms '" << value << "'");
+      frame.deadline_ms = *parsed;
+    } else if (key == "retry_after_ms") {
+      const auto parsed = util::parse_number<double>(value, 0.0, 1e15);
+      KSTABLE_PARSE_REQUIRE(parsed.has_value(),
+                            "bad frame retry_after_ms '" << value << "'");
+      frame.retry_after_ms = *parsed;
+    } else {
+      // Unknown attributes are skipped (forward compatibility) as long as
+      // they are well-formed key=value tokens.
+    }
+  }
+  KSTABLE_PARSE_REQUIRE(id.has_value(), "frame header missing id=");
+  KSTABLE_PARSE_REQUIRE(len.has_value(), "frame header missing len=");
+  frame.id = *id;
+
+  frame.body.resize(*len);
+  if (*len > 0) {
+    is.read(frame.body.data(), static_cast<std::streamsize>(*len));
+    KSTABLE_PARSE_REQUIRE(is.gcount() == static_cast<std::streamsize>(*len),
+                          "truncated frame body (wanted " << *len << " bytes, got "
+                                                          << is.gcount() << ")");
+  }
+  const int terminator = is.get();
+  KSTABLE_PARSE_REQUIRE(terminator == '\n',
+                        "frame body not terminated by newline");
+
+  // Fires only after the frame's bytes are fully consumed: an injected parse
+  // fault is indistinguishable from a corrupt frame to the server, but the
+  // stream stays synchronized for the next read.
+  KSTABLE_FAULT_POINT("serve/frame_parse");
+  return frame;
+}
+
+void write_frame(std::ostream& os, const Frame& frame) {
+  os << kMagic << ' ' << to_string(frame.kind) << " id=" << frame.id;
+  if (frame.deadline_ms > 0.0) os << " deadline_ms=" << frame.deadline_ms;
+  if (frame.retry_after_ms > 0.0) {
+    os << " retry_after_ms=" << frame.retry_after_ms;
+  }
+  os << " len=" << frame.body.size() << '\n';
+  os.write(frame.body.data(), static_cast<std::streamsize>(frame.body.size()));
+  os << '\n';
+}
+
+bool resync_to_frame(std::istream& is) {
+  // A ParseError may leave the stream mid-line; scan line by line until a
+  // frame header appears, then put it back by buffering? istream cannot
+  // unread a whole line, so resync peeks character-wise: discard until '\n',
+  // then peek whether the next line starts with the magic.
+  std::string line;
+  while (is.good()) {
+    const int next = is.peek();
+    if (next == std::char_traits<char>::eof()) return false;
+    if (next == 'k') {
+      // Possible frame start at the current position; stop discarding.
+      return true;
+    }
+    if (!std::getline(is, line)) return false;
+  }
+  return false;
+}
+
+}  // namespace kstable::serve

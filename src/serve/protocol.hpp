@@ -1,0 +1,104 @@
+// Wire protocol for `kmatch serve`: length-prefixed frames over any byte
+// stream (a TCP connection or stdin/stdout — the latter is what the
+// deterministic chaos tests drive).
+//
+// One frame is a single ASCII header line followed by a raw body and a
+// trailing newline:
+//
+//   kmatch/1 <KIND> id=<id> [deadline_ms=<ms>] [retry_after_ms=<ms>] len=<n>\n
+//   <n body bytes>\n
+//
+// Request kinds:  SOLVE (body = a kstable-kpartite v1 instance), PING,
+//                 METRICS (body empty; response body is the
+//                 kstable.stats.v1 JSON object).
+// Response kinds: OK / DEGRADED (body = kstable-kary v1 matching), SHED
+//                 (carries retry_after_ms), TIMEOUT, ERROR, PONG, STATS.
+//
+// Robustness contract (what tests/serve_test.cpp pins):
+//   * read_frame() never blocks forever on garbage: a malformed header or a
+//     truncated body throws ParseError after consuming at most the bad
+//     frame's bytes; resync_to_frame() then scans forward to the next
+//     "kmatch/1 " line so one corrupt frame cannot poison the stream.
+//   * Bodies above kMaxBodyBytes are rejected before any allocation — a
+//     hostile length cannot make the server reserve gigabytes.
+//   * The "serve/frame_parse" fault point fires after the frame's bytes are
+//     fully consumed, so an injected parse fault behaves exactly like a
+//     corrupt frame (ERROR response) without desynchronizing the stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace kstable::serve {
+
+/// Frame discriminator. `unknown` is returned (not thrown) for a
+/// well-framed header with an unrecognized kind token, so servers can
+/// answer ERROR and keep the stream synchronized.
+enum class FrameKind : std::uint8_t {
+  solve,
+  ping,
+  metrics,
+  ok,
+  degraded,
+  shed,
+  timeout,
+  error,
+  pong,
+  stats,
+  unknown
+};
+
+[[nodiscard]] const char* to_string(FrameKind kind) noexcept;
+
+/// One parsed frame. Absent numeric attributes are 0.
+struct Frame {
+  FrameKind kind = FrameKind::unknown;
+  std::uint64_t id = 0;
+  double deadline_ms = 0.0;     ///< request: client's wall budget (0 = server default)
+  double retry_after_ms = 0.0;  ///< SHED response: backoff hint for the client
+  std::string body;
+
+  [[nodiscard]] static Frame request(FrameKind kind, std::uint64_t id,
+                                     std::string body = {},
+                                     double deadline_ms = 0.0) {
+    Frame f;
+    f.kind = kind;
+    f.id = id;
+    f.body = std::move(body);
+    f.deadline_ms = deadline_ms;
+    return f;
+  }
+  [[nodiscard]] static Frame response(FrameKind kind, std::uint64_t id,
+                                      std::string body = {},
+                                      double retry_after_ms = 0.0) {
+    Frame f;
+    f.kind = kind;
+    f.id = id;
+    f.body = std::move(body);
+    f.retry_after_ms = retry_after_ms;
+    return f;
+  }
+};
+
+/// Upper bound on a frame body; larger `len=` values are rejected with
+/// ParseError before any buffer is reserved.
+inline constexpr std::size_t kMaxBodyBytes = std::size_t{16} << 20;
+
+/// Reads one frame. Returns nullopt on clean EOF (no bytes of a new frame
+/// seen); throws ParseError on a malformed header, oversized/truncated
+/// body, or missing body terminator. May also throw InjectedFault via the
+/// "serve/frame_parse" point (fired after the frame is consumed).
+std::optional<Frame> read_frame(std::istream& is);
+
+/// Serializes `frame` (id always; deadline_ms / retry_after_ms only when
+/// positive). Does not flush.
+void write_frame(std::ostream& os, const Frame& frame);
+
+/// After a ParseError: discards input up to (and not including) the next
+/// line that starts with "kmatch/1 ". Returns false when EOF was reached
+/// first.
+bool resync_to_frame(std::istream& is);
+
+}  // namespace kstable::serve

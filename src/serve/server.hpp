@@ -1,0 +1,98 @@
+// Transports for `kmatch serve`: the byte-stream pump shared by every
+// transport, plus the two concrete ones — stdio (deterministic, what the
+// chaos tests and cli_regression drive) and TCP (what the serve-smoke CI
+// job and `kmatch ping` drive).
+//
+// Layering: transports only parse frames and move bytes. All policy —
+// admission, shedding, deadlines, degradation, accounting — lives in
+// ServeEngine; a transport's job is to (a) never let one bad client poison
+// the stream for others, and (b) translate process signals into the
+// engine's drain protocol without losing in-flight responses.
+//
+// Signal contract (audited in docs/RESILIENCE.md):
+//   * install_drain_signal_handlers() registers SIGINT/SIGTERM with
+//     sigaction and NO SA_RESTART, so a signal pops blocked reads out of
+//     the kernel; the handler does two async-signal-safe stores (a
+//     sig_atomic_t flag and the engine's lock-free drain flag) and returns.
+//   * SIGPIPE is ignored: a client that disconnects mid-response must
+//     surface as a counted dropped response, not kill the server.
+//   * No other handlers are installed anywhere in libkstable (the library
+//     itself is signal-agnostic); the serve layer owns process signals.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace kstable::serve {
+
+/// Wraps `os` in a thread-safe response sink: frames are serialized under a
+/// per-sink mutex and flushed immediately (a response must be on the wire
+/// when respond() returns — buffering would turn a crash into lost acks).
+/// A failed write throws, which ServeEngine counts as a dropped response.
+ServeEngine::ResponseSink make_stream_sink(std::ostream& os);
+
+/// Reads frames from `is` and feeds them to the engine until clean EOF or
+/// the engine's drain flag rises; responses go through `sink`. Robust by
+/// construction: a ParseError answers ERROR and resyncs to the next
+/// "kmatch/1 " header; an injected "serve/frame_parse" fault answers ERROR
+/// with the stream already synchronized. Never throws for input-level
+/// failures.
+void pump_stream(ServeEngine& engine, std::istream& is,
+                 const ServeEngine::ResponseSink& sink);
+
+/// As above, responding through the engine's constructor sink. This is the
+/// whole stdio transport: `pump_stream(engine, stdin_stream)` on the main
+/// thread, with the ctor sink wrapping stdout.
+void pump_stream(ServeEngine& engine, std::istream& is);
+
+/// Installs the SIGINT/SIGTERM drain handlers (no SA_RESTART) targeting
+/// `engine`, and ignores SIGPIPE. Call once, before the transport loop;
+/// passing a second engine retargets the handlers (single-server process).
+void install_drain_signal_handlers(ServeEngine& engine);
+
+/// True once a drain signal has been observed by the handlers above.
+[[nodiscard]] bool drain_signal_seen() noexcept;
+
+/// Loopback TCP transport. One acceptor loop (poll-gated so it observes the
+/// drain flag within ~100 ms even without a signal) plus one reader thread
+/// per connection; each connection gets its own response sink so answers
+/// return to the socket that asked.
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port — the
+  /// serve-smoke script reads the real port from the "listening on port N"
+  /// line the CLI prints). Throws std::runtime_error when the socket
+  /// cannot be created, bound, or listened on.
+  TcpServer(ServeEngine& engine, std::uint16_t port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (resolved after an ephemeral bind).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts and serves until the engine's drain flag rises, then stops
+  /// reading everywhere — shutdown(SHUT_RD) pops blocked readers out with
+  /// EOF while write sides stay open, so responses for in-flight solves
+  /// still reach their clients during the drain window — and joins every
+  /// reader thread before returning. The caller then runs engine.drain().
+  void run();
+
+ private:
+  struct Conn;
+
+  ServeEngine& engine_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+};
+
+}  // namespace kstable::serve
