@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against the last committed baseline run.
+
+Guards the perf-trajectory gate (ROADMAP.md): a PR that regresses the pinned
+metrics of a committed benchmark run fails CI instead of silently landing.
+
+Three check classes, strictest first:
+
+  1. exact counters   — per-benchmark google-benchmark counters that are
+                        deterministic (proposal counts): must match the
+                        baseline exactly. Machine-independent.
+  2. ratio contracts  — WITHIN-file time ratios between an engine pair
+                        (e.g. prefetch/queue at the same n), compared across
+                        files with a tolerance. Ratios transfer between
+                        machines, so this is the cross-runner regression
+                        signal: if prefetch used to beat queue by 1.8x and a
+                        change makes it slower than queue, the gate trips.
+  3. absolute timing  — per-benchmark real_time vs the baseline, tolerance-
+                        gated. Only meaningful when baseline and fresh run
+                        came from the same machine; off by default, enabled
+                        with --check-absolute (scripts/reproduce.sh runs).
+
+Usage:
+  compare_bench.py --baseline bench/baselines/BENCH_E19.json \
+      --fresh BENCH_e19.json \
+      --ratio bm_gs_prefetch_narrow bm_gs_queue_narrow \
+      --ratio bm_gs_prefetch_wide bm_gs_queue_wide \
+      [--tolerance 0.10] [--exact-counter proposals] [--check-absolute]
+
+Exit status: 0 = no regression, 1 = regression found, 2 = usage/data error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> benchmark row, aggregates (mean/median/stddev rows) skipped."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"compare_bench: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in data.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        rows[row["name"]] = row
+    if not rows:
+        print(f"compare_bench: {path} contains no benchmark rows",
+              file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def check_exact_counters(base, fresh, counters, failures):
+    checked = 0
+    for name, brow in sorted(base.items()):
+        frow = fresh.get(name)
+        if frow is None:
+            continue  # coverage differences are reported by check_coverage
+        for counter in counters:
+            if counter not in brow:
+                continue
+            checked += 1
+            bval, fval = brow[counter], frow.get(counter)
+            if fval != bval:
+                failures.append(
+                    f"{name}: counter '{counter}' changed "
+                    f"{bval} -> {fval} (deterministic metric; any drift "
+                    f"is a semantic change, not noise)")
+    return checked
+
+
+def ratio_for(rows, numerator, denominator):
+    """suffix -> time ratio for every '<numerator>/<suffix>' pair present."""
+    out = {}
+    prefix_n = numerator + "/"
+    for name, row in rows.items():
+        if not name.startswith(prefix_n):
+            continue
+        suffix = name[len(prefix_n):]
+        denom = rows.get(f"{denominator}/{suffix}")
+        if denom is None or denom["real_time"] <= 0.0:
+            continue
+        out[suffix] = row["real_time"] / denom["real_time"]
+    return out
+
+
+def check_ratio(base, fresh, numerator, denominator, tolerance, failures):
+    base_ratios = ratio_for(base, numerator, denominator)
+    fresh_ratios = ratio_for(fresh, numerator, denominator)
+    checked = 0
+    for suffix, base_ratio in sorted(base_ratios.items()):
+        fresh_ratio = fresh_ratios.get(suffix)
+        if fresh_ratio is None:
+            continue
+        checked += 1
+        if fresh_ratio > base_ratio * (1.0 + tolerance):
+            failures.append(
+                f"{numerator}/{suffix} vs {denominator}/{suffix}: time ratio "
+                f"regressed {base_ratio:.3f} -> {fresh_ratio:.3f} "
+                f"(>{tolerance:.0%} above the committed baseline)")
+    if checked == 0:
+        failures.append(
+            f"ratio contract {numerator}/{denominator}: no comparable rows "
+            f"in both runs (benchmark renamed or sweep range changed?)")
+    return checked
+
+
+def check_absolute(base, fresh, tolerance, failures):
+    checked = 0
+    for name, brow in sorted(base.items()):
+        frow = fresh.get(name)
+        if frow is None:
+            continue
+        checked += 1
+        if frow["real_time"] > brow["real_time"] * (1.0 + tolerance):
+            failures.append(
+                f"{name}: real_time regressed {brow['real_time']:.1f} -> "
+                f"{frow['real_time']:.1f} {brow.get('time_unit', 'ns')} "
+                f"(>{tolerance:.0%})")
+    return checked
+
+
+def check_coverage(base, fresh, failures):
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        failures.append(
+            "fresh run is missing baseline benchmarks (silent coverage "
+            "loss): " + ", ".join(missing[:8]) +
+            ("..." if len(missing) > 8 else ""))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json to compare against")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10)")
+    parser.add_argument("--ratio", nargs=2, action="append", default=[],
+                        metavar=("NUMERATOR", "DENOMINATOR"),
+                        help="benchmark-name pair whose within-run time "
+                             "ratio is pinned (repeatable)")
+    parser.add_argument("--exact-counter", action="append", default=None,
+                        metavar="NAME",
+                        help="per-benchmark counter that must match exactly "
+                             "(default: proposals)")
+    parser.add_argument("--check-absolute", action="store_true",
+                        help="also gate absolute real_time (same-machine "
+                             "baselines only)")
+    args = parser.parse_args()
+    counters = args.exact_counter or ["proposals"]
+
+    base = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    failures = []
+    check_coverage(base, fresh, failures)
+    n_counters = check_exact_counters(base, fresh, counters, failures)
+    n_ratios = 0
+    for numerator, denominator in args.ratio:
+        n_ratios += check_ratio(base, fresh, numerator, denominator,
+                                args.tolerance, failures)
+    n_abs = 0
+    if args.check_absolute:
+        n_abs = check_absolute(base, fresh, args.tolerance, failures)
+
+    print(f"compare_bench: {args.fresh} vs {args.baseline}: "
+          f"{n_counters} exact-counter, {n_ratios} ratio, "
+          f"{n_abs} absolute checks")
+    if failures:
+        for failure in failures:
+            print(f"  REGRESSION: {failure}")
+        return 1
+    print("  no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

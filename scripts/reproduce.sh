@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Reproduces everything: build, full test suite, every experiment E1..E18.
+# Reproduces everything: build, full test suite, every experiment E1..E19.
 # Outputs land in test_output.txt and bench_output.txt at the repo root,
 # plus one machine-readable BENCH_<exp>.json per benchmark binary (google
 # benchmark's JSON reporter; the human console report is unaffected).
@@ -42,4 +42,13 @@ for b in build/bench/bench_*; do
   mv "${json}.partial" "$json"
 done
 mv bench_output.txt.partial bench_output.txt
+
+# E19 regression gate: the fresh run must not regress the committed
+# baseline's deterministic counters or its prefetch/queue time ratios
+# (machine-portable; see scripts/compare_bench.py --help for the classes).
+python3 scripts/compare_bench.py \
+  --baseline bench/baselines/BENCH_E19.json --fresh BENCH_e19.json \
+  --ratio bm_gs_prefetch_narrow bm_gs_queue_narrow \
+  --ratio bm_gs_prefetch_wide bm_gs_queue_wide
+
 echo "reproduce.sh: all experiments completed"

@@ -28,14 +28,17 @@
 
 namespace kstable::core {
 
-/// Which Gale-Shapley engine runs each binary binding.
-enum class GsEngine { queue, rounds, parallel };
+/// Which Gale-Shapley engine runs each binary binding. `prefetch` is the
+/// queue algorithm over the compact rank layout with a software-prefetch
+/// pipeline (gs/scan_gs.hpp) — sequential like queue/rounds, bitwise
+/// identical to queue, built for large-n DRAM-bound solves.
+enum class GsEngine { queue, rounds, parallel, prefetch };
 
 /// Number of GsEngine values. Keep NEXT TO the enum and update together when
 /// adding an engine: GsEdgeCache sizes its slot table from this and
-/// static_asserts against its own compiled-in constant, so a fourth engine
+/// static_asserts against its own compiled-in constant, so a fifth engine
 /// cannot silently alias cache slots.
-inline constexpr std::size_t kGsEngineCount = 3;
+inline constexpr std::size_t kGsEngineCount = 4;
 
 /// Static-lifetime display/metrics label of an engine.
 [[nodiscard]] constexpr const char* to_string(GsEngine engine) noexcept {
@@ -43,6 +46,7 @@ inline constexpr std::size_t kGsEngineCount = 3;
     case GsEngine::queue: return "queue";
     case GsEngine::rounds: return "rounds";
     case GsEngine::parallel: return "parallel";
+    case GsEngine::prefetch: return "prefetch";
   }
   return "unknown";
 }

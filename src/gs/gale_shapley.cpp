@@ -69,17 +69,29 @@ void reserve_trace(const GsOptions& options, Index n) {
   }
 }
 
-}  // namespace
+/// Row addressing hoisted out of the proposal loops: row r of (gender g over
+/// target t) lives at `base + r * stride` in both tables. One multiply per
+/// proposal instead of the full row_base() chain.
+struct RowAddressing {
+  std::size_t prop_base;  ///< pref/rank row base of proposer (i, 0) over j
+  std::size_t resp_base;  ///< pref/rank row base of responder (j, 0) over i
+  std::size_t stride;     ///< (k-1)·n elements between consecutive members
 
-void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
-                        const GsOptions& options, GsWorkspace& workspace,
-                        GsResult& result) {
-  check_genders(inst, i, j);
-  const WallTimer timer;
+  RowAddressing(const KPartiteInstance& inst, Gender i, Gender j) noexcept
+      : prop_base(inst.row_base({i, 0}, j)),
+        resp_base(inst.row_base({j, 0}, i)),
+        stride(static_cast<std::size_t>(inst.genders() - 1) *
+               static_cast<std::size_t>(inst.per_gender())) {}
+};
+
+/// Queue-engine proposal loop, monomorphized on the stored rank type R
+/// (uint16_t or uint32_t): the accept/reject compare reads the typed table
+/// directly — no per-access width dispatch in the hot path.
+template <typename R>
+void queue_loop(const KPartiteInstance& inst, Gender i, Gender j,
+                const GsOptions& options, GsWorkspace& workspace,
+                GsResult& result) {
   const Index n = inst.per_gender();
-  reset_result(result, i, j, n);
-  reserve_trace(options, n);
-
   // next_choice[p]: rank of the next responder p will propose to.
   workspace.next_choice.assign(static_cast<std::size_t>(n), Index{0});
   auto& free_stack = workspace.free_list;
@@ -91,11 +103,15 @@ void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
   Index* const proposer_match = result.proposer_match.data();
   Index* const responder_match = result.responder_match.data();
   Index* const next_choice = workspace.next_choice.data();
+  const Index* const pref = inst.pref_row({i, 0}, j).data();
+  const R* const rank_table = inst.rank_base<R>();
+  const RowAddressing rows(inst, i, j);
 
   while (!free_stack.empty()) {
     const Index p = free_stack.back();
     free_stack.pop_back();
-    const auto list = inst.pref_row({i, p}, j);
+    const Index* const list =
+        pref + static_cast<std::size_t>(p) * rows.stride;
     KSTABLE_ASSERT(next_choice[static_cast<std::size_t>(p)] < n);
     const Index r = list[static_cast<std::size_t>(
         next_choice[static_cast<std::size_t>(p)]++)];
@@ -104,8 +120,9 @@ void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
 
     const Index holder = responder_match[static_cast<std::size_t>(r)];
     // Hoisted rank row of responder r over gender i: the accept/reject
-    // compare is two loads, no per-proposal list_base recomputation.
-    const auto ranks = inst.rank_row({j, r}, i);
+    // compare is two loads, no per-proposal row_base recomputation.
+    const R* const ranks =
+        rank_table + rows.resp_base + static_cast<std::size_t>(r) * rows.stride;
     ProposalEvent event{p, r, false, -1};
     if (holder < 0) {
       responder_match[static_cast<std::size_t>(r)] = p;
@@ -124,6 +141,26 @@ void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
     }
     if (options.trace != nullptr) options.trace->push_back(event);
   }
+}
+
+}  // namespace
+
+void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
+                        const GsOptions& options, GsWorkspace& workspace,
+                        GsResult& result) {
+  check_genders(inst, i, j);
+  const WallTimer timer;
+  const Index n = inst.per_gender();
+  reset_result(result, i, j, n);
+  reserve_trace(options, n);
+
+  // One width dispatch per solve; identical matchings either way (the
+  // DiffRunner layout battery pins narrow16 vs wide32 bitwise).
+  if (inst.rank_width() == prefs::RankWidth::narrow16) {
+    queue_loop<std::uint16_t>(inst, i, j, options, workspace, result);
+  } else {
+    queue_loop<std::uint32_t>(inst, i, j, options, workspace, result);
+  }
   result.rounds = result.proposals;
   result.engine = "gs.queue";
   result.wall_ms = timer.millis();
@@ -140,15 +177,14 @@ GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
   return result;
 }
 
-void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
-                         const GsOptions& options, GsWorkspace& workspace,
-                         GsResult& result) {
-  check_genders(inst, i, j);
-  const WallTimer timer;
-  const Index n = inst.per_gender();
-  reset_result(result, i, j, n);
-  reserve_trace(options, n);
+namespace {
 
+/// Rounds-engine loop, monomorphized on the stored rank type R.
+template <typename R>
+void rounds_loop(const KPartiteInstance& inst, Gender i, Gender j,
+                 const GsOptions& options, GsWorkspace& workspace,
+                 GsResult& result) {
+  const Index n = inst.per_gender();
   workspace.next_choice.assign(static_cast<std::size_t>(n), Index{0});
   auto& free_list = workspace.free_list;
   free_list.resize(static_cast<std::size_t>(n));
@@ -160,6 +196,9 @@ void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
   Index* const proposer_match = result.proposer_match.data();
   Index* const responder_match = result.responder_match.data();
   Index* const next_choice = workspace.next_choice.data();
+  const Index* const pref = inst.pref_row({i, 0}, j).data();
+  const R* const rank_table = inst.rank_base<R>();
+  const RowAddressing rows(inst, i, j);
 
   while (!free_list.empty()) {
     ++result.rounds;
@@ -171,7 +210,8 @@ void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
     // Phase 1 of the round: every unengaged proposer proposes to the
     // most-preferred responder it has not yet proposed to (§II.A verbatim).
     for (const Index p : free_list) {
-      const auto list = inst.pref_row({i, p}, j);
+      const Index* const list =
+          pref + static_cast<std::size_t>(p) * rows.stride;
       const Index r = list[static_cast<std::size_t>(
           next_choice[static_cast<std::size_t>(p)]++)];
       ++result.proposals;
@@ -179,7 +219,8 @@ void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
       // suitor seen so far (including its current provisional partner); the
       // hoisted rank row makes that compare two loads.
       const Index holder = responder_match[static_cast<std::size_t>(r)];
-      const auto ranks = inst.rank_row({j, r}, i);
+      const R* const ranks = rank_table + rows.resp_base +
+                             static_cast<std::size_t>(r) * rows.stride;
       ProposalEvent event{p, r, false, -1};
       if (holder < 0) {
         responder_match[static_cast<std::size_t>(r)] = p;
@@ -199,6 +240,24 @@ void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
       if (options.trace != nullptr) options.trace->push_back(event);
     }
     free_list.swap(still_free);
+  }
+}
+
+}  // namespace
+
+void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
+                         const GsOptions& options, GsWorkspace& workspace,
+                         GsResult& result) {
+  check_genders(inst, i, j);
+  const WallTimer timer;
+  const Index n = inst.per_gender();
+  reset_result(result, i, j, n);
+  reserve_trace(options, n);
+
+  if (inst.rank_width() == prefs::RankWidth::narrow16) {
+    rounds_loop<std::uint16_t>(inst, i, j, options, workspace, result);
+  } else {
+    rounds_loop<std::uint32_t>(inst, i, j, options, workspace, result);
   }
   result.engine = "gs.rounds";
   result.wall_ms = timer.millis();

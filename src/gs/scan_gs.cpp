@@ -1,5 +1,6 @@
 #include "gs/scan_gs.hpp"
 
+#include "gs/simd.hpp"
 #include "observability/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -7,6 +8,23 @@
 namespace kstable::gs {
 
 namespace {
+
+#if KSTABLE_METRICS_ENABLED
+/// Eager instrument registration (same pattern as gale_shapley.cpp): the
+/// prefetch engine shares the queue engine's zero-allocation warm-path
+/// contract, so even its FIRST warm solve must not allocate inside the
+/// metrics registry.
+const bool kScanInstrumentsWarm = [] {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("gs.scan.solves");
+  registry.counter("gs.scan.proposals");
+  registry.counter("gs.scan_simd.solves");
+  registry.counter("gs.scan_simd.proposals");
+  registry.counter("gs.prefetch.solves");
+  registry.counter("gs.prefetch.proposals");
+  return true;
+}();
+#endif
 
 /// True iff responder (j, r) prefers proposer a over proposer b, determined
 /// by scanning the responder's list front-to-back (no rank table).
@@ -21,9 +39,23 @@ bool scan_prefers(const KPartiteInstance& inst, Gender i, Gender j, Index r,
   return false;
 }
 
-}  // namespace
+/// Vectorized scan_prefers: position of the earliest of {a, b} on the list,
+/// found 8/4 lanes at a time. Same verdict as the scalar scan bit for bit.
+bool scan_prefers_simd(const KPartiteInstance& inst, Gender i, Gender j,
+                       Index r, Index a, Index b) {
+  const auto list = inst.pref_list({j, r}, i);
+  const std::size_t pos = simd::first_of_pair(list.data(), list.size(), a, b);
+  KSTABLE_REQUIRE(pos < list.size(), "neither " << a << " nor " << b
+                                                << " on responder " << r
+                                                << "'s list");
+  return list[pos] == a;
+}
 
-GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
+/// Shared body of the two scan engines: textbook free-stack GS where the
+/// accept/reject test is `prefers(inst, i, j, r, challenger, holder)`.
+template <typename Prefers>
+GsResult scan_engine(const KPartiteInstance& inst, Gender i, Gender j,
+                     const char* engine_label, Prefers&& prefers) {
   KSTABLE_REQUIRE(i != j && i >= 0 && j >= 0 && i < inst.genders() &&
                       j < inst.genders(),
                   "GS(" << i << ',' << j << ") invalid, k=" << inst.genders());
@@ -51,7 +83,7 @@ GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
     if (holder < 0) {
       result.responder_match[static_cast<std::size_t>(r)] = p;
       result.proposer_match[static_cast<std::size_t>(p)] = r;
-    } else if (scan_prefers(inst, i, j, r, p, holder)) {
+    } else if (prefers(inst, i, j, r, p, holder)) {
       result.responder_match[static_cast<std::size_t>(r)] = p;
       result.proposer_match[static_cast<std::size_t>(p)] = r;
       result.proposer_match[static_cast<std::size_t>(holder)] = -1;
@@ -61,10 +93,172 @@ GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
     }
   }
   result.rounds = result.proposals;
-  result.engine = "gs.scan";
+  result.engine = engine_label;
   result.wall_ms = timer.millis();
+  return result;
+}
+
+/// Prefetch-pipelined queue loop, monomorphized on the rank type. The
+/// proposal sequence is EXACTLY the queue engine's (same stack discipline:
+/// a displaced holder or a rejected proposer goes next, otherwise the stack
+/// top), so matchings, proposal counts, and traces are bitwise identical.
+/// What changes is only *when* memory is asked for: each resolution stages
+/// the next proposal — its pref cell was prefetched a step earlier, its two
+/// rank-row cells are prefetched now, consumed at the next resolution —
+/// and speculatively prefetches the pref cell of the likely
+/// proposal-after-next (the stack top). Mispredicted prefetches touch a
+/// wasted cache line; they can never change the outcome.
+template <typename R>
+void prefetch_loop(const KPartiteInstance& inst, Gender i, Gender j,
+                   const GsOptions& options, GsWorkspace& workspace,
+                   GsResult& result) {
+  const Index n = inst.per_gender();
+  workspace.next_choice.assign(static_cast<std::size_t>(n), Index{0});
+  auto& free_stack = workspace.free_list;
+  free_stack.resize(static_cast<std::size_t>(n));
+  for (Index p = 0; p < n; ++p) {
+    free_stack[static_cast<std::size_t>(p)] = n - 1 - p;  // pop in index order
+  }
+
+  Index* const proposer_match = result.proposer_match.data();
+  Index* const responder_match = result.responder_match.data();
+  Index* const next_choice = workspace.next_choice.data();
+  const Index* const pref = inst.pref_row({i, 0}, j).data();
+  const R* const rank_table = inst.rank_base<R>();
+  const std::size_t stride = static_cast<std::size_t>(inst.genders() - 1) *
+                             static_cast<std::size_t>(n);
+  const std::size_t resp_base = inst.row_base({j, 0}, i);
+
+  // Stage the first proposal (the queue engine's first pop).
+  Index sp = free_stack.back();
+  free_stack.pop_back();
+  Index sr = pref[static_cast<std::size_t>(sp) * stride];
+  next_choice[static_cast<std::size_t>(sp)] = 1;
+  const R* sranks = rank_table + resp_base + static_cast<std::size_t>(sr) * stride;
+  simd::prefetch_ro(sranks + static_cast<std::size_t>(sp));
+
+  while (true) {
+    const Index p = sp;
+    const Index r = sr;
+    const R* const ranks = sranks;
+    ++result.proposals;
+    if (options.control != nullptr) options.control->charge();
+
+    const Index holder = responder_match[static_cast<std::size_t>(r)];
+    Index next = -1;
+    ProposalEvent event{p, r, false, -1};
+    if (holder < 0) {
+      responder_match[static_cast<std::size_t>(r)] = p;
+      proposer_match[static_cast<std::size_t>(p)] = r;
+      event.accepted = true;
+    } else if (ranks[static_cast<std::size_t>(p)] <
+               ranks[static_cast<std::size_t>(holder)]) {
+      responder_match[static_cast<std::size_t>(r)] = p;
+      proposer_match[static_cast<std::size_t>(p)] = r;
+      proposer_match[static_cast<std::size_t>(holder)] = -1;
+      next = holder;  // the queue engine pushes, then pops it right back
+      event.accepted = true;
+      event.displaced = holder;
+    } else {
+      next = p;  // rejected; retries its next choice immediately
+    }
+    if (options.trace != nullptr) options.trace->push_back(event);
+
+    if (next < 0) {
+      if (free_stack.empty()) break;
+      next = free_stack.back();
+      free_stack.pop_back();
+    }
+
+    // Stage `next`: its pref cell is hot (prefetched a step ago when it was
+    // the speculative stack top, or it displaced/rejected through rank rows
+    // just touched); issue the rank-cell prefetches it will need.
+    KSTABLE_ASSERT(next_choice[static_cast<std::size_t>(next)] < n);
+    sp = next;
+    sr = pref[static_cast<std::size_t>(sp) * stride +
+              static_cast<std::size_t>(
+                  next_choice[static_cast<std::size_t>(sp)]++)];
+    sranks = rank_table + resp_base + static_cast<std::size_t>(sr) * stride;
+    simd::prefetch_ro(sranks + static_cast<std::size_t>(sp));
+    const Index sholder = responder_match[static_cast<std::size_t>(sr)];
+    if (sholder >= 0) {
+      simd::prefetch_ro(sranks + static_cast<std::size_t>(sholder));
+    }
+    // Speculate one further: the proposal after next most likely comes off
+    // the stack top — warm its next pref cell.
+    if (!free_stack.empty()) {
+      const Index spec = free_stack.back();
+      simd::prefetch_ro(pref + static_cast<std::size_t>(spec) * stride +
+                        static_cast<std::size_t>(
+                            next_choice[static_cast<std::size_t>(spec)]));
+    }
+  }
+}
+
+}  // namespace
+
+GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
+  auto result = scan_engine(inst, i, j, "gs.scan",
+                            [](const KPartiteInstance& in, Gender a, Gender b,
+                               Index r, Index challenger, Index holder) {
+                              return scan_prefers(in, a, b, r, challenger,
+                                                  holder);
+                            });
   KSTABLE_COUNTER_ADD("gs.scan.solves", 1);
   KSTABLE_COUNTER_ADD("gs.scan.proposals", result.proposals);
+  return result;
+}
+
+GsResult gale_shapley_scan_simd(const KPartiteInstance& inst, Gender i,
+                                Gender j) {
+  auto result = scan_engine(inst, i, j, "gs.scan_simd",
+                            [](const KPartiteInstance& in, Gender a, Gender b,
+                               Index r, Index challenger, Index holder) {
+                              return scan_prefers_simd(in, a, b, r, challenger,
+                                                       holder);
+                            });
+  KSTABLE_COUNTER_ADD("gs.scan_simd.solves", 1);
+  KSTABLE_COUNTER_ADD("gs.scan_simd.proposals", result.proposals);
+  return result;
+}
+
+void gale_shapley_prefetch(const KPartiteInstance& inst, Gender i, Gender j,
+                           const GsOptions& options, GsWorkspace& workspace,
+                           GsResult& result) {
+  KSTABLE_REQUIRE(i != j && i >= 0 && j >= 0 && i < inst.genders() &&
+                      j < inst.genders(),
+                  "GS(" << i << ',' << j << ") invalid, k=" << inst.genders());
+  const WallTimer timer;
+  const Index n = inst.per_gender();
+  result.proposer_gender = i;
+  result.responder_gender = j;
+  result.proposer_match.assign(static_cast<std::size_t>(n), Index{-1});
+  result.responder_match.assign(static_cast<std::size_t>(n), Index{-1});
+  result.proposals = 0;
+  result.rounds = 0;
+  if (options.trace != nullptr) {
+    options.trace->reserve(options.trace->size() +
+                           static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(n));
+  }
+
+  if (inst.rank_width() == prefs::RankWidth::narrow16) {
+    prefetch_loop<std::uint16_t>(inst, i, j, options, workspace, result);
+  } else {
+    prefetch_loop<std::uint32_t>(inst, i, j, options, workspace, result);
+  }
+  result.rounds = result.proposals;
+  result.engine = "gs.prefetch";
+  result.wall_ms = timer.millis();
+  KSTABLE_COUNTER_ADD("gs.prefetch.solves", 1);
+  KSTABLE_COUNTER_ADD("gs.prefetch.proposals", result.proposals);
+}
+
+GsResult gale_shapley_prefetch(const KPartiteInstance& inst, Gender i,
+                               Gender j, const GsOptions& options) {
+  GsWorkspace workspace;
+  GsResult result;
+  gale_shapley_prefetch(inst, i, j, options, workspace, result);
   return result;
 }
 

@@ -1,11 +1,29 @@
-// Scan-based Gale-Shapley: the rank-table ablation baseline.
+// Scan-family Gale-Shapley engines: the rank-table ablation baseline and the
+// large-n memory-layout engines (E9, E19).
 //
-// Identical algorithm to the queue engine, but the responder's "do I prefer
-// the new suitor" comparison scans the responder's preference list instead of
-// consulting the precomputed O(1) rank table — O(n) per comparison, O(n³)
-// worst case overall. E9 benchmarks this against the rank-table engines to
-// quantify the flat-storage + rank-table design decision (DESIGN.md §Key
-// design decisions, item 1).
+// Three engines live here, all producing matchings and proposal counts
+// bitwise-identical to gale_shapley_queue (GS is confluent and every engine
+// preserves the queue engine's exact proposal order):
+//
+//   * gale_shapley_scan       — the ablation baseline: the responder's "do I
+//     prefer the new suitor" comparison scans its preference list instead of
+//     consulting the rank table. O(n) per comparison, O(n³) worst case;
+//     quantifies what the rank table buys (DESIGN.md §Key design decisions).
+//   * gale_shapley_scan_simd  — same algorithm, but the list scan is the
+//     vectorized first-of-pair kernel (gs/simd.hpp): 8 entries per AVX2
+//     step, runtime-dispatched, falling back to SSE2/scalar. Identical
+//     scan semantics (earliest hit wins), so identical everything.
+//   * gale_shapley_prefetch   — the production large-n engine: the queue
+//     algorithm monomorphized on the compact rank width with a
+//     software-prefetch pipeline over the proposal stream. Each resolved
+//     proposal determines the next proposer exactly, so the engine stages
+//     that proposal one step early — prefetching its pref cell, its
+//     responder-match slot, and both rank cells of the accept/reject
+//     compare — and speculatively prefetches the pref cell of the proposer
+//     after that (stack top; a mispredict wastes a cache line, never
+//     correctness). At n >= 10^5 the rank-row touches are effectively
+//     random DRAM reads and this pipeline plus 16-bit ranks is what E19
+//     measures against the scalar queue path.
 #pragma once
 
 #include "gs/gale_shapley.hpp"
@@ -15,5 +33,22 @@ namespace kstable::gs {
 /// Queue-based GS(i, j) using list scans for every preference comparison.
 /// Returns the same matching and proposal count as gale_shapley_queue.
 GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j);
+
+/// gale_shapley_scan with the vectorized first-of-pair scan kernel
+/// (runtime-dispatched AVX2/SSE2/scalar; KSTABLE_SIMD overrides). Bitwise
+/// identical to gale_shapley_scan and gale_shapley_queue.
+GsResult gale_shapley_scan_simd(const KPartiteInstance& inst, Gender i,
+                                Gender j);
+
+/// Prefetch-pipelined queue GS over the compact rank layout. Into-style:
+/// scratch in `workspace`, outcome overwrites `result` (zero heap
+/// allocations once both are warm, same contract as gale_shapley_queue).
+void gale_shapley_prefetch(const KPartiteInstance& inst, Gender i, Gender j,
+                           const GsOptions& options, GsWorkspace& workspace,
+                           GsResult& result);
+
+/// Convenience overload with owned scratch state.
+GsResult gale_shapley_prefetch(const KPartiteInstance& inst, Gender i,
+                               Gender j, const GsOptions& options = {});
 
 }  // namespace kstable::gs

@@ -1,0 +1,77 @@
+// CompactRanks: width-adaptive rank storage for the GS hot path.
+//
+// The rank table answers "what does responder r think of proposer p" — two
+// loads and a compare per proposal — and at large n it is the
+// memory-bandwidth bottleneck of every engine (E19). A rank is a position in
+// a length-n list, so it needs exactly as many bits as n: instances with
+// n < 65536 store ranks as std::uint16_t (half the bytes, twice the cache
+// coverage) and larger instances fall back to std::uint32_t transparently.
+//
+// The width is selected per instance at construction and never changes.
+// Generic callers read through RankRow (one predictable branch per access);
+// the engines dispatch ONCE per solve on RankWidth and run a loop
+// monomorphized on the stored type (KPartiteInstance::rank_base<R>()), so
+// the per-proposal path has no width branches at all. Both widths produce
+// bitwise-identical matchings — pinned by the DiffRunner layout battery.
+//
+// Unset entries (preference list not yet assigned) hold the all-ones
+// sentinel of their width. Only rank_of() maps the sentinel back to the
+// legacy "unset" contract; validated hot loops never see it.
+#pragma once
+
+#include <cstdint>
+
+namespace kstable::prefs {
+
+/// Storage width of one rank entry.
+enum class RankWidth : std::uint8_t {
+  narrow16,  ///< std::uint16_t, selected when n < 65536
+  wide32,    ///< std::uint32_t fallback for giant instances
+};
+
+[[nodiscard]] constexpr const char* to_string(RankWidth width) noexcept {
+  return width == RankWidth::narrow16 ? "u16" : "u32";
+}
+
+/// Width the constructor picks for n members per gender (the forced-width
+/// factory can override to wide32 for ablation benchmarks, never the
+/// reverse — narrow16 cannot represent ranks >= 65535).
+[[nodiscard]] constexpr RankWidth natural_rank_width(std::int32_t n) noexcept {
+  return n < 65536 ? RankWidth::narrow16 : RankWidth::wide32;
+}
+
+[[nodiscard]] constexpr std::size_t rank_entry_bytes(RankWidth width) noexcept {
+  return width == RankWidth::narrow16 ? sizeof(std::uint16_t)
+                                      : sizeof(std::uint32_t);
+}
+
+/// All-ones "list unset" sentinel of a width, as the stored unsigned value.
+template <typename R>
+inline constexpr R kUnsetRank = static_cast<R>(~R{0});
+
+/// Dual-width view of one contiguous rank row (the per-responder row the
+/// engines hoist). operator[] costs one perfectly-predicted branch; loops
+/// that cannot afford even that use KPartiteInstance::rank_base<R>().
+class RankRow {
+ public:
+  RankRow(const void* base, RankWidth width) noexcept
+      : base_(base), width_(width) {}
+
+  /// Stored rank of member i in this row. Unset entries read as the raw
+  /// sentinel (65535 / 4294967295), never as a negative number.
+  [[nodiscard]] std::int32_t operator[](std::size_t i) const noexcept {
+    return width_ == RankWidth::narrow16
+               ? static_cast<std::int32_t>(
+                     static_cast<const std::uint16_t*>(base_)[i])
+               : static_cast<std::int32_t>(
+                     static_cast<const std::uint32_t*>(base_)[i]);
+  }
+
+  [[nodiscard]] RankWidth width() const noexcept { return width_; }
+
+ private:
+  const void* base_;
+  RankWidth width_;
+};
+
+}  // namespace kstable::prefs

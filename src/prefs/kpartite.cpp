@@ -1,18 +1,77 @@
 #include "prefs/kpartite.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "util/check.hpp"
 
 namespace kstable {
 
-KPartiteInstance::KPartiteInstance(Gender k, Index n) : k_(k), n_(n) {
+namespace {
+
+/// Sentinel-filled table initialization: every pref entry -1, every rank
+/// entry the all-ones unset marker of its width.
+template <typename T>
+void fill_all(T* data, std::size_t count, T value) {
+  std::fill_n(data, count, value);
+}
+
+}  // namespace
+
+KPartiteInstance::KPartiteInstance(Gender k, Index n)
+    : KPartiteInstance(k, n, prefs::natural_rank_width(n)) {}
+
+KPartiteInstance::KPartiteInstance(Gender k, Index n, prefs::RankWidth width)
+    : k_(k), n_(n), width_(width) {
   KSTABLE_REQUIRE(k >= 2, "need at least two genders, got k=" << k);
   KSTABLE_REQUIRE(n >= 1, "need at least one member per gender, got n=" << n);
-  const auto cells = static_cast<std::size_t>(k) * static_cast<std::size_t>(k) *
-                     static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-  pref_.assign(cells, Index{-1});
-  rank_.assign(cells, std::int32_t{-1});
+  KSTABLE_REQUIRE(width == prefs::RankWidth::wide32 || n < 65536,
+                  "narrow16 rank storage cannot represent ranks for n=" << n);
+  // Overflow-checked 64-bit sizing (the old code multiplied k·k·n·n straight
+  // into size_t — wrapped, silently undersized tables, UB on index — and
+  // sized the diagonal (m.gender == g) rows nobody can ever address).
+  cells_ = prefs::checked_mul(
+      prefs::checked_mul(static_cast<std::size_t>(k),
+                         static_cast<std::size_t>(k - 1)),
+      prefs::checked_mul(static_cast<std::size_t>(n),
+                         static_cast<std::size_t>(n)));
+  const std::size_t pref_sz = prefs::checked_mul(cells_, sizeof(Index));
+  const std::size_t rank_sz =
+      prefs::checked_mul(cells_, prefs::rank_entry_bytes(width_));
+  pref_offset_ = 0;
+  rank_offset_ = prefs::round_up(pref_sz, prefs::kArenaAlign);
+  const std::size_t total = prefs::checked_add(rank_offset_, rank_sz);
+  arena_ = prefs::PrefArena(total);
+
+  fill_all(pref_data(), cells_, Index{-1});
+  if (width_ == prefs::RankWidth::narrow16) {
+    fill_all(rank16_data(), cells_, prefs::kUnsetRank<std::uint16_t>);
+  } else {
+    fill_all(rank32_data(), cells_, prefs::kUnsetRank<std::uint32_t>);
+  }
+}
+
+KPartiteInstance KPartiteInstance::relaid(const KPartiteInstance& src,
+                                          prefs::RankWidth width) {
+  KPartiteInstance out(src.k_, src.n_, width);
+  // The pref carve is width-independent: copy it wholesale, then rebuild the
+  // rank table row by row (set entries only — unset rows stay sentinel).
+  std::memcpy(out.pref_data(), src.pref_data(), src.pref_bytes());
+  for (std::size_t pos = 0; pos < src.cells_; ++pos) {
+    const Index choice = src.pref_data()[pos];
+    if (choice < 0) continue;
+    const std::size_t row = pos / static_cast<std::size_t>(src.n_);
+    const std::size_t rank = pos % static_cast<std::size_t>(src.n_);
+    const std::size_t cell =
+        row * static_cast<std::size_t>(src.n_) + static_cast<std::size_t>(choice);
+    if (width == prefs::RankWidth::narrow16) {
+      out.rank16_data()[cell] = static_cast<std::uint16_t>(rank);
+    } else {
+      out.rank32_data()[cell] = static_cast<std::uint32_t>(rank);
+    }
+  }
+  return out;
 }
 
 void KPartiteInstance::check_member(MemberId m) const {
@@ -20,18 +79,32 @@ void KPartiteInstance::check_member(MemberId m) const {
                   "member " << m << " out of range (k=" << k_ << ", n=" << n_ << ")");
 }
 
-std::span<const Index> KPartiteInstance::pref_list(MemberId m, Gender g) const {
-  check_member(m);
+void KPartiteInstance::check_target(MemberId m, Gender g) const {
   KSTABLE_REQUIRE(g >= 0 && g < k_ && g != m.gender,
                   "gender " << g << " invalid as a preference target for " << m);
-  return {pref_.data() + list_base(m, g), static_cast<std::size_t>(n_)};
+}
+
+std::int32_t KPartiteInstance::raw_rank_at(std::size_t pos) const noexcept {
+  if (width_ == prefs::RankWidth::narrow16) {
+    const std::uint16_t r = rank16_data()[pos];
+    return r == prefs::kUnsetRank<std::uint16_t> ? -1
+                                                 : static_cast<std::int32_t>(r);
+  }
+  const std::uint32_t r = rank32_data()[pos];
+  return r == prefs::kUnsetRank<std::uint32_t> ? -1
+                                               : static_cast<std::int32_t>(r);
+}
+
+std::span<const Index> KPartiteInstance::pref_list(MemberId m, Gender g) const {
+  check_member(m);
+  check_target(m, g);
+  return {pref_data() + row_base(m, g), static_cast<std::size_t>(n_)};
 }
 
 void KPartiteInstance::set_pref_list(MemberId m, Gender g,
                                      std::span<const Index> order) {
   check_member(m);
-  KSTABLE_REQUIRE(g >= 0 && g < k_ && g != m.gender,
-                  "gender " << g << " invalid as a preference target for " << m);
+  check_target(m, g);
   KSTABLE_REQUIRE(order.size() == static_cast<std::size_t>(n_),
                   "list for " << m << " over gender " << g << " has "
                               << order.size() << " entries, expected " << n_);
@@ -44,11 +117,22 @@ void KPartiteInstance::set_pref_list(MemberId m, Gender g,
                     "duplicate preference entry " << idx << " for " << m);
     seen[static_cast<std::size_t>(idx)] = true;
   }
-  const std::size_t base = list_base(m, g);
-  for (std::size_t r = 0; r < order.size(); ++r) {
-    pref_[base + r] = order[r];
-    rank_[base + static_cast<std::size_t>(order[r])] =
-        static_cast<std::int32_t>(r);
+  const std::size_t base = row_base(m, g);
+  Index* const pref = pref_data();
+  if (width_ == prefs::RankWidth::narrow16) {
+    std::uint16_t* const rank = rank16_data();
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      pref[base + r] = order[r];
+      rank[base + static_cast<std::size_t>(order[r])] =
+          static_cast<std::uint16_t>(r);
+    }
+  } else {
+    std::uint32_t* const rank = rank32_data();
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      pref[base + r] = order[r];
+      rank[base + static_cast<std::size_t>(order[r])] =
+          static_cast<std::uint32_t>(r);
+    }
   }
 }
 
@@ -57,8 +141,8 @@ std::int32_t KPartiteInstance::rank_of(MemberId m, MemberId other) const {
   check_member(other);
   KSTABLE_REQUIRE(other.gender != m.gender,
                   "rank_of: " << other << " has the same gender as " << m);
-  const std::int32_t r =
-      rank_[list_base(m, other.gender) + static_cast<std::size_t>(other.index)];
+  const std::int32_t r = raw_rank_at(row_base(m, other.gender) +
+                                     static_cast<std::size_t>(other.index));
   KSTABLE_REQUIRE(r >= 0, "preference list of " << m << " over gender "
                                                 << other.gender << " is unset");
   return r;
@@ -76,10 +160,11 @@ void KPartiteInstance::validate() const {
       const MemberId m{g, i};
       for (Gender h = 0; h < k_; ++h) {
         if (h == g) continue;
-        const std::size_t base = list_base(m, h);
+        const std::size_t base = row_base(m, h);
+        const Index* const pref = pref_data();
         std::vector<bool> seen(static_cast<std::size_t>(n_), false);
         for (Index r = 0; r < n_; ++r) {
-          const Index idx = pref_[base + static_cast<std::size_t>(r)];
+          const Index idx = pref[base + static_cast<std::size_t>(r)];
           KSTABLE_REQUIRE(idx >= 0 && idx < n_,
                           "unset/out-of-range preference for " << m
                               << " over gender " << h << " at rank " << r);
@@ -88,7 +173,7 @@ void KPartiteInstance::validate() const {
                                              << " over gender " << h);
           seen[static_cast<std::size_t>(idx)] = true;
           KSTABLE_REQUIRE(
-              rank_[base + static_cast<std::size_t>(idx)] == r,
+              raw_rank_at(base + static_cast<std::size_t>(idx)) == r,
               "rank table inconsistent for " << m << " over gender " << h);
         }
       }
@@ -103,6 +188,14 @@ bool KPartiteInstance::is_complete() const noexcept {
   } catch (const ContractViolation&) {
     return false;
   }
+}
+
+bool operator==(const KPartiteInstance& a, const KPartiteInstance& b) {
+  if (a.k_ != b.k_ || a.n_ != b.n_) return false;
+  // The rank table is derived from the pref table, so pref equality is
+  // semantic equality; memcmp is sound because unset entries are a
+  // deterministic -1 fill.
+  return std::memcmp(a.pref_data(), b.pref_data(), a.pref_bytes()) == 0;
 }
 
 }  // namespace kstable

@@ -11,12 +11,28 @@
 // "does m prefer a over b" is two loads and a compare (O(1)); this is the
 // representation every engine (GS, roommates adapter, binding, stability
 // checkers) runs on.
+//
+// Memory layout (docs/PERFORMANCE.md §Compact memory layout):
+//   * Both tables live in ONE extent-granular arena slab (prefs/arena.hpp) —
+//     SoA, no per-row vectors, 64-byte-aligned carves, overflow-checked
+//     sizing that throws ParseError instead of wrapping at giant n.
+//   * Rows exist only for the k-1 *other* genders: the row index of (m, g)
+//     is flat_id(m)·(k-1) + slot(g), so the old layout's dead same-gender
+//     diagonal rows (a full 1/k of the table — half of it for bipartite
+//     instances) are gone.
+//   * Ranks are stored width-adaptively (prefs/compact_ranks.hpp):
+//     std::uint16_t when n < 65536, std::uint32_t above. rank_row() returns
+//     a dual-width RankRow view; the engines instead dispatch once per solve
+//     and read the typed table through rank_base<R>() + row_base().
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
+#include <type_traits>
 
+#include "prefs/arena.hpp"
+#include "prefs/compact_ranks.hpp"
 #include "prefs/ids.hpp"
 
 namespace kstable {
@@ -26,12 +42,28 @@ class KPartiteInstance {
  public:
   /// Creates an instance with k genders of n members and *unset* preference
   /// lists (all entries -1). Call set_pref_list() for every (member, gender)
-  /// pair and then validate(), or use a prefs::gen generator.
+  /// pair and then validate(), or use a prefs::gen generator. Rank storage
+  /// width is picked from n (natural_rank_width).
   KPartiteInstance(Gender k, Index n);
+
+  /// As above with an explicit rank width, for layout ablations (E19) and
+  /// the DiffRunner width-agreement battery. Requires: `width` can represent
+  /// every rank in [0, n), i.e. wide32 always works and narrow16 needs
+  /// n < 65536.
+  KPartiteInstance(Gender k, Index n, prefs::RankWidth width);
+
+  /// Copy of `src` re-laid with rank width `width` (same preference lists;
+  /// bitwise-identical solve results — the DiffRunner pins this).
+  static KPartiteInstance relaid(const KPartiteInstance& src,
+                                 prefs::RankWidth width);
 
   [[nodiscard]] Gender genders() const noexcept { return k_; }
   [[nodiscard]] Index per_gender() const noexcept { return n_; }
-  [[nodiscard]] std::int32_t total_members() const noexcept { return k_ * n_; }
+  /// k·n, in 64 bits: the product overflows int32 for instances whose
+  /// *tables* could never be built, but the count itself must stay exact.
+  [[nodiscard]] std::int64_t total_members() const noexcept {
+    return static_cast<std::int64_t>(k_) * static_cast<std::int64_t>(n_);
+  }
 
   /// Preference order of member `m` over gender `g` (best first); entries are
   /// indices into gender `g`. Requires g != m.gender.
@@ -45,18 +77,51 @@ class KPartiteInstance {
   [[nodiscard]] std::int32_t rank_of(MemberId m, MemberId other) const;
 
   /// Unchecked row views for validated hot loops (the GS engines): one
-  /// list_base computation buys the whole row, so a responder's accept/reject
+  /// row_base computation buys the whole row, so a responder's accept/reject
   /// decision is two loads off rank_row and a compare. Callers must have
   /// range-checked (m, g) up front (the engines validate the gender pair once
   /// per solve); no per-call contract checks, no allocation.
   [[nodiscard]] std::span<const Index> pref_row(MemberId m,
                                                 Gender g) const noexcept {
-    return {pref_.data() + list_base(m, g), static_cast<std::size_t>(n_)};
+    return {pref_data() + row_base(m, g), static_cast<std::size_t>(n_)};
   }
   /// rank_row(m, g)[i] = rank of member (g, i) in m's list over gender g.
-  [[nodiscard]] std::span<const std::int32_t> rank_row(MemberId m,
-                                                       Gender g) const noexcept {
-    return {rank_.data() + list_base(m, g), static_cast<std::size_t>(n_)};
+  /// The view dispatches on the stored width per access; width-critical
+  /// loops use rank_base<R>() instead.
+  [[nodiscard]] prefs::RankRow rank_row(MemberId m, Gender g) const noexcept {
+    const std::size_t base = row_base(m, g);
+    return width_ == prefs::RankWidth::narrow16
+               ? prefs::RankRow(rank16_data() + base, width_)
+               : prefs::RankRow(rank32_data() + base, width_);
+  }
+
+  /// Stored rank width (selection rule: natural_rank_width(n) unless the
+  /// explicit-width constructor overrode it).
+  [[nodiscard]] prefs::RankWidth rank_width() const noexcept { return width_; }
+
+  /// Typed base pointer of the rank table, for loops monomorphized on the
+  /// width (R must be std::uint16_t or std::uint32_t and match rank_width()).
+  /// Entry layout matches the pref table: row_base(m, g) + i holds the rank
+  /// of member (g, i) in m's list.
+  template <typename R>
+  [[nodiscard]] const R* rank_base() const noexcept {
+    static_assert(std::is_same_v<R, std::uint16_t> ||
+                      std::is_same_v<R, std::uint32_t>,
+                  "rank tables store uint16_t or uint32_t");
+    return arena_.at<R>(rank_offset_);
+  }
+
+  /// Flat element offset of row (m, g) into both tables. Public because the
+  /// width-monomorphized engine loops pair it with rank_base<R>(); everyone
+  /// else goes through pref_row/rank_row.
+  [[nodiscard]] std::size_t row_base(MemberId m, Gender g) const noexcept {
+    const std::size_t flat = static_cast<std::size_t>(m.gender) *
+                                 static_cast<std::size_t>(n_) +
+                             static_cast<std::size_t>(m.index);
+    const std::size_t slot =
+        static_cast<std::size_t>(g) - static_cast<std::size_t>(g > m.gender);
+    return (flat * static_cast<std::size_t>(k_ - 1) + slot) *
+           static_cast<std::size_t>(n_);
   }
 
   /// True iff `m` strictly prefers `a` over `b`; a and b must belong to the
@@ -70,22 +135,59 @@ class KPartiteInstance {
   /// True iff validate() would pass (no throw).
   [[nodiscard]] bool is_complete() const noexcept;
 
-  friend bool operator==(const KPartiteInstance&, const KPartiteInstance&) = default;
+  /// Layout introspection for E19 and the docs' bytes/proposal accounting.
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+  [[nodiscard]] std::size_t pref_bytes() const noexcept {
+    return cells_ * sizeof(Index);
+  }
+  [[nodiscard]] std::size_t rank_bytes() const noexcept {
+    return cells_ * prefs::rank_entry_bytes(width_);
+  }
+  /// Total slab footprint including extent-rounding slack.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_.capacity();
+  }
+
+  /// Semantic equality: same shape and same preference lists. Rank width is
+  /// a layout choice, not a semantic property — a narrow16 instance equals
+  /// its wide32 relaid copy.
+  friend bool operator==(const KPartiteInstance& a, const KPartiteInstance& b);
 
  private:
-  [[nodiscard]] std::size_t list_base(MemberId m, Gender g) const noexcept {
-    return (static_cast<std::size_t>(flat_id(m, n_)) * static_cast<std::size_t>(k_) +
-            static_cast<std::size_t>(g)) *
-           static_cast<std::size_t>(n_);
+  [[nodiscard]] Index* pref_data() noexcept {
+    return arena_.at<Index>(pref_offset_);
   }
+  [[nodiscard]] const Index* pref_data() const noexcept {
+    return arena_.at<Index>(pref_offset_);
+  }
+  [[nodiscard]] std::uint16_t* rank16_data() noexcept {
+    return arena_.at<std::uint16_t>(rank_offset_);
+  }
+  [[nodiscard]] const std::uint16_t* rank16_data() const noexcept {
+    return arena_.at<std::uint16_t>(rank_offset_);
+  }
+  [[nodiscard]] std::uint32_t* rank32_data() noexcept {
+    return arena_.at<std::uint32_t>(rank_offset_);
+  }
+  [[nodiscard]] const std::uint32_t* rank32_data() const noexcept {
+    return arena_.at<std::uint32_t>(rank_offset_);
+  }
+  /// Stored rank at flat element position `pos`, sentinel included (-1 for
+  /// "unset" regardless of width).
+  [[nodiscard]] std::int32_t raw_rank_at(std::size_t pos) const noexcept;
   void check_member(MemberId m) const;
+  void check_target(MemberId m, Gender g) const;
 
-  Gender k_;
-  Index n_;
-  // pref_[list_base(m,g) + r]  = index of the r-th choice of m in gender g.
-  // rank_[list_base(m,g) + i]  = rank of member (g, i) in m's list.
-  std::vector<Index> pref_;
-  std::vector<std::int32_t> rank_;
+  Gender k_ = 0;
+  Index n_ = 0;
+  prefs::RankWidth width_ = prefs::RankWidth::narrow16;
+  std::size_t cells_ = 0;        ///< k·(k-1)·n·n used entries per table
+  std::size_t pref_offset_ = 0;  ///< byte offset of the pref carve (0)
+  std::size_t rank_offset_ = 0;  ///< byte offset of the rank carve
+  // One slab for both tables:
+  //   pref[row_base(m,g) + r] = index of the r-th choice of m in gender g;
+  //   rank[row_base(m,g) + i] = rank of member (g, i) in m's list.
+  prefs::PrefArena arena_;
 };
 
 }  // namespace kstable

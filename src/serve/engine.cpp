@@ -181,7 +181,9 @@ void ServeEngine::handle_solve(const Frame& request,
     guard->started = true;
     KSTABLE_GAUGE_SET("serve.queue.depth",
                       static_cast<std::int64_t>(admission_.pending()));
-    const auto start = std::chrono::steady_clock::now();
+    // [[maybe_unused]]: consumed only by the metrics macro below, which
+    // compiles to ((void)0) under KSTABLE_METRICS=OFF.
+    [[maybe_unused]] const auto start = std::chrono::steady_clock::now();
     const Frame& req = guard->request;
 
     auto finish = [&](FrameKind kind, std::string body,

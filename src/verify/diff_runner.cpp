@@ -130,11 +130,59 @@ gs::GsResult gs_engine_checks(const KPartiteInstance& inst, Gender i, Gender j,
   }
   compare(scan, "gs.engine.scan.bitwise", true, "gs.engine.scan.proposals");
 
+  compare(gs::gale_shapley_scan_simd(inst, i, j),
+          "gs.engine.scan_simd.bitwise", true,
+          "gs.engine.scan_simd.proposals");
+  compare(gs::gale_shapley_prefetch(inst, i, j),
+          "gs.engine.prefetch.bitwise", true,
+          "gs.engine.prefetch.proposals");
+
   if (options.pool != nullptr) {
     compare(gs::gale_shapley_parallel(inst, i, j, *options.pool, 8),
             "gs.engine.parallel.bitwise", false, "");
   }
   return reference;
+}
+
+/// Memory-layout agreement: the same instance re-laid at the other rank
+/// width (prefs/compact_ranks.hpp) must stay semantically equal and must
+/// produce bitwise-identical solves from both the scalar queue engine and
+/// the width-monomorphized prefetch engine — rank width is a layout choice,
+/// never a semantic one.
+void layout_checks(const KPartiteInstance& inst, const Recorder& rec) {
+  const auto other = inst.rank_width() == prefs::RankWidth::narrow16
+                         ? prefs::RankWidth::wide32
+                         : prefs::RankWidth::narrow16;
+  if (other == prefs::RankWidth::narrow16 && inst.per_gender() >= 65536) {
+    return;  // narrow16 cannot represent this instance's ranks
+  }
+  const auto relaid = KPartiteInstance::relaid(inst, other);
+  rec.check(relaid == inst, "layout.relaid.equal",
+            "re-laid copy is not semantically equal to the original");
+
+  auto compare_widths = [&](const gs::GsResult& a, const gs::GsResult& b,
+                            const char* id) {
+    const bool ok = a.proposer_match == b.proposer_match &&
+                    a.responder_match == b.responder_match &&
+                    a.proposals == b.proposals;
+    std::ostringstream os;
+    if (!ok) {
+      os << a.engine << " diverges between " << prefs::to_string(
+             inst.rank_width()) << " and " << prefs::to_string(other)
+         << " rank layouts: "
+         << (a.proposer_match == b.proposer_match
+                 ? describe_diff(a.responder_match, b.responder_match)
+                 : describe_diff(a.proposer_match, b.proposer_match))
+         << " (proposals " << a.proposals << " vs " << b.proposals << ")";
+    }
+    rec.check(ok, id, os.str());
+  };
+  compare_widths(gs::gale_shapley_queue(inst, 0, 1),
+                 gs::gale_shapley_queue(relaid, 0, 1),
+                 "layout.width.queue.bitwise");
+  compare_widths(gs::gale_shapley_prefetch(inst, 0, 1),
+                 gs::gale_shapley_prefetch(relaid, 0, 1),
+                 "layout.width.prefetch.bitwise");
 }
 
 /// Binding-layer cross-checks on the path tree: sequential Algorithm 1 is
@@ -381,6 +429,7 @@ BatteryResult run_battery(const KPartiteInstance& inst, Shape shape,
     }
   }
 
+  layout_checks(inst, rec);
   binding_checks(inst, rec, options);
 
   if (shape == Shape::bipartite && inst.genders() == 2) {
