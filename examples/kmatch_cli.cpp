@@ -48,6 +48,9 @@
 //   --sabotage=<s>         none | gs_swap | kary_swap — deliberately corrupt
 //                          one engine's output to self-test the harness
 //   --repro-dir=<dir>      where minimal repro files are written (default .)
+//   --churn=<n>            incremental re-stabilization legs: n random
+//                          preference mutations per instance, each checked
+//                          bitwise against a cold solve (default 0 = off)
 //
 // Every numeric argument is parsed with the checked parse_arg helper: garbage,
 // trailing junk, and out-of-range values (k < 2, n < 1, negative seeds) are
@@ -149,6 +152,7 @@ int usage() {
                "       --stats-json=<file>  --stats-prom=<file>\n"
                "verify flags: --seeds=<n>  --shape=<shape|all>  --dist=<dist>\n"
                "       --base-seed=<n>  --sabotage=<mode>  --repro-dir=<dir>\n"
+               "       --churn=<n>\n"
                "serve flags: --workers=<n>  --queue-depth=<n>\n"
                "       --max-deadline-ms=<ms>  --shed-retry-ms=<ms>\n"
                "       --drain-deadline-ms=<ms>  --drain-grace-ms=<ms>\n"
@@ -805,6 +809,11 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--repro-dir=", 0) == 0) {
       g_verify.repro_dir = a.substr(12);
       if (g_verify.repro_dir.empty()) return usage();
+    } else if (a.rfind("--churn=", 0) == 0) {
+      const auto churn =
+          parse_arg<std::int32_t>(a.c_str() + 8, 0, 1000, "--churn value");
+      if (!churn) return usage();
+      g_verify.churn_steps = *churn;
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << "unknown flag '" << a << "'\n";
       return usage();

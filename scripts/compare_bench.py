@@ -74,7 +74,24 @@ def check_exact_counters(base, fresh, counters, failures):
     return checked
 
 
-def ratio_for(rows, numerator, denominator):
+def real_time_of(row, name, path):
+    """Validated real_time: present and positive, or a data error (exit 2).
+
+    A truncated or hand-edited JSON used to surface as KeyError /
+    ZeroDivisionError — a traceback and exit 1, indistinguishable from a real
+    regression in CI. Bad data is a usage error, not a perf signal.
+    """
+    value = row.get("real_time")
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value <= 0.0:
+        print(f"compare_bench: {path}: benchmark '{name}' has invalid "
+              f"real_time {value!r} (expected a positive number) — "
+              f"truncated or corrupt benchmark output?", file=sys.stderr)
+        sys.exit(2)
+    return value
+
+
+def ratio_for(rows, path, numerator, denominator):
     """suffix -> time ratio for every '<numerator>/<suffix>' pair present."""
     out = {}
     prefix_n = numerator + "/"
@@ -82,16 +99,19 @@ def ratio_for(rows, numerator, denominator):
         if not name.startswith(prefix_n):
             continue
         suffix = name[len(prefix_n):]
-        denom = rows.get(f"{denominator}/{suffix}")
-        if denom is None or denom["real_time"] <= 0.0:
+        denom_name = f"{denominator}/{suffix}"
+        denom = rows.get(denom_name)
+        if denom is None:
             continue
-        out[suffix] = row["real_time"] / denom["real_time"]
+        out[suffix] = (real_time_of(row, name, path) /
+                       real_time_of(denom, denom_name, path))
     return out
 
 
-def check_ratio(base, fresh, numerator, denominator, tolerance, failures):
-    base_ratios = ratio_for(base, numerator, denominator)
-    fresh_ratios = ratio_for(fresh, numerator, denominator)
+def check_ratio(base, base_path, fresh, fresh_path, numerator, denominator,
+                tolerance, failures):
+    base_ratios = ratio_for(base, base_path, numerator, denominator)
+    fresh_ratios = ratio_for(fresh, fresh_path, numerator, denominator)
     checked = 0
     for suffix, base_ratio in sorted(base_ratios.items()):
         fresh_ratio = fresh_ratios.get(suffix)
@@ -110,17 +130,19 @@ def check_ratio(base, fresh, numerator, denominator, tolerance, failures):
     return checked
 
 
-def check_absolute(base, fresh, tolerance, failures):
+def check_absolute(base, base_path, fresh, fresh_path, tolerance, failures):
     checked = 0
     for name, brow in sorted(base.items()):
         frow = fresh.get(name)
         if frow is None:
             continue
         checked += 1
-        if frow["real_time"] > brow["real_time"] * (1.0 + tolerance):
+        base_time = real_time_of(brow, name, base_path)
+        fresh_time = real_time_of(frow, name, fresh_path)
+        if fresh_time > base_time * (1.0 + tolerance):
             failures.append(
-                f"{name}: real_time regressed {brow['real_time']:.1f} -> "
-                f"{frow['real_time']:.1f} {brow.get('time_unit', 'ns')} "
+                f"{name}: real_time regressed {base_time:.1f} -> "
+                f"{fresh_time:.1f} {brow.get('time_unit', 'ns')} "
                 f"(>{tolerance:.0%})")
     return checked
 
@@ -132,6 +154,15 @@ def check_coverage(base, fresh, failures):
             "fresh run is missing baseline benchmarks (silent coverage "
             "loss): " + ", ".join(missing[:8]) +
             ("..." if len(missing) > 8 else ""))
+    # Fresh-only names are a failure too: a benchmark added without updating
+    # the committed baseline runs in CI but is never gated — exactly the
+    # silent pass this script exists to prevent.
+    extra = sorted(set(fresh) - set(base))
+    if extra:
+        failures.append(
+            "fresh run has benchmarks absent from the baseline (update the "
+            "committed baseline so they are gated): " + ", ".join(extra[:8]) +
+            ("..." if len(extra) > 8 else ""))
 
 
 def main():
@@ -164,11 +195,13 @@ def main():
     n_counters = check_exact_counters(base, fresh, counters, failures)
     n_ratios = 0
     for numerator, denominator in args.ratio:
-        n_ratios += check_ratio(base, fresh, numerator, denominator,
-                                args.tolerance, failures)
+        n_ratios += check_ratio(base, args.baseline, fresh, args.fresh,
+                                numerator, denominator, args.tolerance,
+                                failures)
     n_abs = 0
     if args.check_absolute:
-        n_abs = check_absolute(base, fresh, args.tolerance, failures)
+        n_abs = check_absolute(base, args.baseline, fresh, args.fresh,
+                               args.tolerance, failures)
 
     print(f"compare_bench: {args.fresh} vs {args.baseline}: "
           f"{n_counters} exact-counter, {n_ratios} ratio, "

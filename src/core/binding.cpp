@@ -96,17 +96,29 @@ void finish_telemetry(BindingResult& result, const KPartiteInstance& inst,
 gs::GsResult run_binding(const KPartiteInstance& inst, GenderEdge edge,
                          const BindingOptions& options, bool* cache_hit) {
   if (cache_hit != nullptr) *cache_hit = false;
-  if (options.cache == nullptr) return run_engine(inst, edge, options);
+  // Warm-or-cold compute: the warm-start provider (if any) gets first
+  // refusal; a nullopt answer falls through to the selected cold engine.
+  const auto compute = [&]() -> gs::GsResult {
+    if (options.warm_start != nullptr) {
+      if (auto warm = options.warm_start->warm_solve(inst, edge, options)) {
+        return std::move(*warm);
+      }
+    }
+    return run_engine(inst, edge, options);
+  };
+  if (options.cache == nullptr) return compute();
   KSTABLE_REQUIRE(options.cache->genders() == inst.genders(),
                   "cache built for k=" << options.cache->genders()
                                        << ", instance has k="
                                        << inst.genders());
+  // Staleness guard: a generation-bound cache refuses to serve an instance
+  // that has mutated since binding (docs/INCREMENTAL.md — invalidate() +
+  // rebind() is the sanctioned path). Throws std::logic_error.
+  options.cache->check_instance(inst);
   // Single-flight lookup: under a concurrent sweep, N workers missing the
   // same oriented edge run GS once and share the published result.
-  return options.cache->get_or_compute(
-      edge, options.engine,
-      [&] { return run_engine(inst, edge, options); }, options.control,
-      cache_hit);
+  return options.cache->get_or_compute(edge, options.engine, compute,
+                                       options.control, cache_hit);
 }
 
 BindingResult bind_structure(const KPartiteInstance& inst,

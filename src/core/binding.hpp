@@ -52,6 +52,27 @@ inline constexpr std::size_t kGsEngineCount = 4;
 }
 
 class GsEdgeCache;  // core/gs_cache.hpp
+struct BindingOptions;
+
+/// Warm-start hook for incremental re-stabilization (src/incremental/,
+/// docs/INCREMENTAL.md). When BindingOptions::warm_start is attached,
+/// run_binding asks the provider for each oriented edge BEFORE running the
+/// selected engine cold: the provider may return a complete GsResult derived
+/// from a previous solve (an untouched edge's old result reused verbatim, or
+/// a warm GS continuation re-enqueueing only the proposers a preference
+/// delta dirtied), or nullopt to fall back to the cold engine. Contract: a
+/// returned result must be bitwise-identical (match arrays) to what the cold
+/// engine would produce on `inst` — GS confluence makes the warm
+/// continuation satisfy this, and the DiffRunner churn battery pins it. The
+/// provider must be safe to call concurrently (TreeSweep workers share one
+/// BindingOptions); implementations are const and use atomic counters.
+class WarmStartProvider {
+ public:
+  virtual ~WarmStartProvider() = default;
+  [[nodiscard]] virtual std::optional<gs::GsResult> warm_solve(
+      const KPartiteInstance& inst, GenderEdge edge,
+      const BindingOptions& options) const = 0;
+};
 
 struct BindingOptions {
   GsEngine engine = GsEngine::queue;
@@ -74,6 +95,10 @@ struct BindingOptions {
   /// If non-null, every per-edge proposal event is appended (small instances
   /// only). Cache hits replay no events — only freshly computed edges trace.
   std::vector<gs::ProposalEvent>* trace = nullptr;
+  /// Optional warm-start provider (incremental::DeltaWarmStart): consulted
+  /// per edge before the cold engine, composing with the cache (a cache hit
+  /// still wins; on a miss the provider's result is what gets published).
+  const WarmStartProvider* warm_start = nullptr;
 };
 
 /// Result of binding a structure (tree, forest, or cyclic edge set).

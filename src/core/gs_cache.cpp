@@ -26,6 +26,48 @@ GsEdgeCache::GsEdgeCache(Gender k, Policy policy)
   KSTABLE_REQUIRE(k >= 2, "GsEdgeCache needs k >= 2, got " << k);
 }
 
+GsEdgeCache::GsEdgeCache(const KPartiteInstance& inst, Policy policy)
+    : GsEdgeCache(inst.genders(), policy) {
+  bound_generation_ = inst.generation();
+}
+
+void GsEdgeCache::check_instance(const KPartiteInstance& inst) const {
+  KSTABLE_REQUIRE(inst.genders() == k_,
+                  "GsEdgeCache built for k=" << k_ << ", instance has k="
+                                             << inst.genders());
+  if (!bound_generation_.has_value()) return;  // legacy unbound cache
+  KSTABLE_REQUIRE(inst.generation() == *bound_generation_,
+                  "stale GsEdgeCache: bound at instance generation "
+                      << *bound_generation_ << ", instance is now at "
+                      << inst.generation()
+                      << " — invalidate()/clear() the touched edges and "
+                         "rebind() before reusing the cache "
+                         "(docs/INCREMENTAL.md)");
+}
+
+std::size_t GsEdgeCache::invalidate(GenderEdge edge) {
+  // slot() re-validates the edge; the engine loop below walks the
+  // kEngineCount consecutive slots of that oriented pair.
+  const std::size_t base = slot(edge, GsEngine::queue);
+  std::size_t dropped = 0;
+  for (std::size_t e = 0; e < kEngineCount; ++e) {
+    const std::size_t s = base + e;
+    std::lock_guard<std::mutex> lock(stripe_for(s).m);
+    if (slots_[s].state.load(std::memory_order_relaxed) == kReady) ++dropped;
+    slots_[s].value.reset();
+    slots_[s].state.store(kEmpty, std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+void GsEdgeCache::rebind(const KPartiteInstance& inst) {
+  KSTABLE_REQUIRE(inst.genders() == k_,
+                  "GsEdgeCache built for k=" << k_ << " cannot rebind to an "
+                                             << inst.genders()
+                                             << "-gender instance");
+  bound_generation_ = inst.generation();
+}
+
 std::size_t GsEdgeCache::slot(GenderEdge edge, GsEngine engine) const {
   KSTABLE_REQUIRE(edge.a >= 0 && edge.a < k_ && edge.b >= 0 && edge.b < k_ &&
                       edge.a != edge.b,
@@ -165,17 +207,20 @@ const gs::GsResult& GsEdgeCache::get_or_compute(
   }
 }
 
-void GsEdgeCache::clear() {
+std::size_t GsEdgeCache::clear() {
   // External-quiescence contract (see header): locking each stripe here is
   // belt-and-braces against stragglers, not a licence for concurrent clear.
+  std::size_t dropped = 0;
   for (std::size_t s = 0; s < slots_.size(); ++s) {
     std::lock_guard<std::mutex> lock(stripe_for(s).m);
+    if (slots_[s].state.load(std::memory_order_relaxed) == kReady) ++dropped;
     slots_[s].value.reset();
     slots_[s].state.store(kEmpty, std::memory_order_relaxed);
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   single_flight_waits_.store(0, std::memory_order_relaxed);
+  return dropped;
 }
 
 std::size_t GsEdgeCache::size() const {

@@ -12,13 +12,25 @@
 // cached and uncached solves produce bitwise-identical matchings
 // (property-tested over all k^(k-2) trees).
 //
-// Key and invalidation rules:
+// Key and invalidation rules (docs/INCREMENTAL.md):
 //   * The key is (proposer gender, responder gender, engine). Orientation
 //     matters — GS(a, b) is proposer-optimal for a, GS(b, a) for b.
-//   * A cache is bound to ONE KPartiteInstance for its whole lifetime. It
-//     holds no reference to the instance; the caller guarantees the pairing
-//     (new instance => new cache). There is no other invalidation:
-//     KPartiteInstance is immutable while solves run.
+//   * A cache is bound to ONE KPartiteInstance. It holds no reference to the
+//     instance; the caller guarantees the pairing (new instance => new
+//     cache). The instance-bound constructor additionally records the
+//     instance's generation() so that check_instance() — called by
+//     run_binding before every cached lookup — throws std::logic_error
+//     instead of serving a result memoized against preference rows that have
+//     since mutated. The legacy Gender constructor keeps the guard off for
+//     callers that manage the pairing themselves.
+//   * KPartiteInstance is NO LONGER immutable: src/incremental/ mutates
+//     preference rows in place. After a mutation the owner must, under
+//     external quiescence, either clear() everything or invalidate() exactly
+//     the oriented edges the delta touched (both orientations of every
+//     changed (observer gender, target gender) pair) and then rebind() to
+//     the instance's new generation. invalidate() resets only that edge's
+//     kEngineCount slots, so untouched edges keep replaying for free — the
+//     targeted-invalidation half of incremental::rematch().
 //
 // Concurrency design (the TreeSweep fan-out hammers one cache from every
 // pool worker at once):
@@ -82,8 +94,43 @@ class GsEdgeCache {
     duplicate,      ///< legacy: every misser computes, first publish wins
   };
 
-  /// Creates an empty cache for instances with `k` genders (k*(k-1)*3 slots).
+  /// Creates an empty cache for instances with `k` genders. The staleness
+  /// guard is OFF: the caller owns the instance/cache pairing (legacy
+  /// construction sites, and tests that drive the slot machinery directly).
   explicit GsEdgeCache(Gender k, Policy policy = Policy::single_flight);
+
+  /// Creates an empty cache bound to `inst`: records genders() AND
+  /// generation(), arming check_instance() against mutation-under-cache.
+  /// Preferred for any instance the incremental mutation API may touch.
+  explicit GsEdgeCache(const KPartiteInstance& inst,
+                       Policy policy = Policy::single_flight);
+
+  /// Staleness guard: throws std::logic_error (ContractViolation) when the
+  /// cache is generation-bound and `inst` does not match the bound shape and
+  /// generation. A cache from the legacy Gender constructor only checks the
+  /// gender count. Cheap (two integer compares) — run_binding calls it on
+  /// every cached edge lookup.
+  void check_instance(const KPartiteInstance& inst) const;
+
+  /// Targeted invalidation: resets the kEngineCount slots of ONE oriented
+  /// edge back to empty and returns how many of them held a ready result.
+  /// Requires external quiescence exactly like clear(); entry pointers for
+  /// the edge dangle afterwards. A preference delta on rows between genders
+  /// a and b must invalidate BOTH orientations (a,b) and (b,a) — responder
+  /// preferences decide accept/reject, so either orientation's memo is stale
+  /// (incremental::rematch does this). Counters are NOT reset: hits/misses
+  /// keep accumulating across incremental steps.
+  std::size_t invalidate(GenderEdge edge);
+
+  /// Re-arms the staleness guard against `inst`'s current generation after
+  /// the owner has invalidated (or cleared) every stale edge. Requires the
+  /// same gender count; turns an unbound cache into a bound one.
+  void rebind(const KPartiteInstance& inst);
+
+  /// Generation recorded at construction/rebind (nullopt = guard off).
+  [[nodiscard]] std::optional<std::uint64_t> bound_generation() const noexcept {
+    return bound_generation_;
+  }
 
   /// Cached result of GS(edge.a proposes, edge.b responds) under `engine`,
   /// or nullptr. Counts one hit or one miss. A slot another thread is still
@@ -127,11 +174,15 @@ class GsEdgeCache {
   [[nodiscard]] Policy policy() const noexcept { return policy_; }
 
   /// Drops every entry and zeroes the counters (the cache stays bound to the
-  /// same instance shape). Requires external quiescence: no other thread may
-  /// be touching the cache — clear() is a between-phases reset, and entry
-  /// pointers handed out before it dangle after it (true of the original
-  /// global-mutex design too).
-  void clear();
+  /// same instance shape and generation — pair with rebind() after a
+  /// mutation). Returns how many ready entries were dropped, the number
+  /// invalidate() is measured against (the churn battery asserts targeted
+  /// invalidation resets strictly fewer slots on single-edge deltas, k >= 3).
+  /// Requires external quiescence: no other thread may be touching the cache
+  /// — clear() is a between-phases reset, and entry pointers handed out
+  /// before it dangle after it (true of the original global-mutex design
+  /// too).
+  std::size_t clear();
 
   [[nodiscard]] Gender genders() const noexcept { return k_; }
 
@@ -170,6 +221,10 @@ class GsEdgeCache {
 
   Gender k_;
   Policy policy_;
+  /// Instance generation the guard is armed against (nullopt = legacy
+  /// unbound cache, guard off). Written only at construction/rebind, both of
+  /// which require quiescence, so plain storage is race-free.
+  std::optional<std::uint64_t> bound_generation_;
   /// Constructed once at full size and never resized: Slot holds an atomic
   /// (immovable) and entry addresses must stay stable.
   std::vector<Slot> slots_;

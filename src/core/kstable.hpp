@@ -13,6 +13,9 @@
 //   core::BatchSolver           — many instances across the thread pool
 //   core::sweep_all_trees       — work-stealing parallel sweep over all
 //                                 k^(k-2) binding trees (TreeSweep engine)
+//   incremental::*              — preference-churn mutations, warm-restart
+//                                 GS, and rematch() incremental
+//                                 re-stabilization (docs/INCREMENTAL.md)
 //   analysis::*                 — stability checkers, oracles, metrics
 //   resilience::*               — deadlines/cancellation (ExecControl), fault
 //                                 injection, and the tree-fallback solve ladder
@@ -50,6 +53,9 @@
 #include "gs/hospitals.hpp"
 #include "gs/parallel_gs.hpp"
 #include "gs/scan_gs.hpp"
+#include "incremental/mutation.hpp"
+#include "incremental/rematch.hpp"
+#include "incremental/warm_gs.hpp"
 #include "observability/metrics.hpp"
 #include "observability/telemetry.hpp"
 #include "parallel/pram.hpp"

@@ -72,6 +72,7 @@ void evaluate_tree(const KPartiteInstance& inst, std::int64_t index,
   BindingOptions bopts;
   bopts.engine = opt.engine;
   bopts.cache = opt.cache;
+  bopts.warm_start = opt.warm_start;
   bopts.workspace = &workspace;
 
   std::optional<resilience::ExecControl> per_tree_control;

@@ -94,6 +94,10 @@ struct TreeSweepOptions {
   /// first_stable only: candidate i's budget is per_tree_budget scaled by
   /// budget_backoff^i, mirroring the fallback ladder's escalation.
   double budget_backoff = 1.0;
+  /// Optional warm-start provider threaded into every tree's per-edge
+  /// BindingOptions (see core::WarmStartProvider). Must be thread-safe: the
+  /// sweep calls it from every worker.
+  const WarmStartProvider* warm_start = nullptr;
   /// Refuse full-space sweeps above this many trees (k=9 is ~4.8M; the
   /// guard forces the caller to opt into genuinely huge sweeps).
   std::int64_t max_trees = 5'000'000;

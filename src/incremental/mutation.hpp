@@ -1,0 +1,106 @@
+// Preference-churn mutation API (docs/INCREMENTAL.md).
+//
+// A service at scale does not rebuild a KPartiteInstance because one user
+// edited one preference list. The mutators here rewrite the arena pref/rank
+// rows IN PLACE (KPartiteInstance::swap_pref_entries / set_pref_list), bump
+// the per-instance generation counter, and return a MutationDelta — the
+// record every downstream consumer needs:
+//
+//   * core::GsEdgeCache — which oriented edges to invalidate() before
+//     rebind()ing to the new generation;
+//   * incremental::warm_gale_shapley — the OLD rows of the changed lists,
+//     from which the dirty-proposer closure is computed;
+//   * incremental::rematch — the one-call driver tying both together.
+//
+// Deltas compose: merge() folds a later delta into an earlier one, keeping
+// the EARLIEST old row per (member, target) — exactly the row state the last
+// solved matching was computed against, which is what the warm restart needs
+// after several mutations between re-stabilizations.
+//
+// Membership changes (add_member / remove_member) cannot rewrite in place —
+// the arena is sized by n — so they rebuild a new instance and mark the
+// delta shape_changed; rematch() answers those with a cold solve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/binding_structure.hpp"
+#include "prefs/ids.hpp"
+#include "prefs/kpartite.hpp"
+#include "util/rng.hpp"
+
+namespace kstable::incremental {
+
+/// One rewritten preference row: `member`'s list over gender `target`,
+/// with the full pre-mutation order captured for the warm-restart closure.
+struct RowDelta {
+  MemberId member{};
+  Gender target = -1;
+  std::vector<Index> old_row;
+};
+
+/// The difference between two instance generations, as a set of rewritten
+/// rows (plus the shape_changed escape hatch for membership churn).
+struct MutationDelta {
+  std::uint64_t from_generation = 0;  ///< generation the old rows belong to
+  std::uint64_t to_generation = 0;    ///< instance generation after applying
+  bool shape_changed = false;         ///< add/remove member: everything stale
+  std::vector<RowDelta> rows;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return rows.empty() && !shape_changed;
+  }
+
+  /// True iff the memoized GS(a,b) / GS(b,a) results are stale: some
+  /// rewritten row involves the (a, b) gender pair in either direction, or
+  /// the shape changed (which staled everything).
+  [[nodiscard]] bool touches(Gender a, Gender b) const noexcept;
+
+  /// Normalized unique gender pairs touched by the delta (both orientations
+  /// of each are stale — see GsEdgeCache::invalidate).
+  [[nodiscard]] std::vector<GenderEdge> touched_pairs() const;
+
+  /// Folds `later` (a delta that starts where this one ends) into this one:
+  /// per (member, target) the EARLIEST old row wins, so the merged delta
+  /// still describes the change since from_generation. Requires
+  /// later.from_generation == to_generation.
+  void merge(const MutationDelta& later);
+};
+
+/// Swaps the entries at `rank_a`/`rank_b` of m's list over `g` in place and
+/// returns the single-row delta (old row captured before the swap).
+MutationDelta swap_entries(KPartiteInstance& inst, MemberId m, Gender g,
+                           Index rank_a, Index rank_b);
+
+/// Replaces m's whole list over `g` (order must be a permutation of [0, n),
+/// enforced by set_pref_list) and returns the single-row delta.
+MutationDelta replace_list(KPartiteInstance& inst, MemberId m, Gender g,
+                           std::span<const Index> order);
+
+/// A rebuilt instance plus the delta describing how it differs from the
+/// source (membership churn: delta.shape_changed is always true).
+struct ResizeResult {
+  KPartiteInstance instance;
+  MutationDelta delta;
+};
+
+/// Grows every gender by one member (balanced instances stay balanced): the
+/// new member of each gender draws uniform-random lists from `rng`, and
+/// every existing list gains the new index at a random position. The source
+/// is untouched; the result is a fresh instance with its own generation
+/// counter, and the delta bridges the two (from = source generation, to =
+/// result generation, shape_changed).
+ResizeResult add_member(const KPartiteInstance& inst, Rng& rng);
+
+/// Shrinks every gender by one, deleting index `victim` from each gender and
+/// reindexing (entries > victim shift down). Requires n >= 2.
+ResizeResult remove_member(const KPartiteInstance& inst, Index victim);
+
+/// Draws one random in-place mutation (mostly entry swaps, occasionally a
+/// full list replacement) and applies it. The churn batteries' step
+/// primitive: deterministic in `rng`.
+MutationDelta random_mutation(KPartiteInstance& inst, Rng& rng);
+
+}  // namespace kstable::incremental

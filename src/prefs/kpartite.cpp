@@ -26,6 +26,14 @@ KPartiteInstance::KPartiteInstance(Gender k, Index n, prefs::RankWidth width)
     : k_(k), n_(n), width_(width) {
   KSTABLE_REQUIRE(k >= 2, "need at least two genders, got k=" << k);
   KSTABLE_REQUIRE(n >= 1, "need at least one member per gender, got n=" << n);
+  // Boundary audit (docs/PERFORMANCE.md): narrow16 is admissible only while
+  // the largest storable rank (n-1) stays below the all-ones unset sentinel.
+  // At the n == 65535 boundary the max rank is 65534 — no collision; n ==
+  // 65536 would need rank 65535 == kUnsetRank<u16> and must reject BEFORE
+  // any allocation happens (the compact_layout boundary test relies on the
+  // cheap throw).
+  static_assert(prefs::kUnsetRank<std::uint16_t> == 65535,
+                "u16 unset sentinel must sit one past the max narrow16 rank");
   KSTABLE_REQUIRE(width == prefs::RankWidth::wide32 || n < 65536,
                   "narrow16 rank storage cannot represent ranks for n=" << n);
   // Overflow-checked 64-bit sizing (the old code multiplied k·k·n·n straight
@@ -71,6 +79,9 @@ KPartiteInstance KPartiteInstance::relaid(const KPartiteInstance& src,
       out.rank32_data()[cell] = static_cast<std::uint32_t>(rank);
     }
   }
+  // A relaid copy is semantically equal to its source at this moment, so it
+  // inherits the source's generation (caches keyed on generation accept it).
+  out.generation_ = src.generation_;
   return out;
 }
 
@@ -134,6 +145,42 @@ void KPartiteInstance::set_pref_list(MemberId m, Gender g,
           static_cast<std::uint32_t>(r);
     }
   }
+  ++generation_;
+}
+
+void KPartiteInstance::swap_pref_entries(MemberId m, Gender g, Index rank_a,
+                                         Index rank_b) {
+  check_member(m);
+  check_target(m, g);
+  KSTABLE_REQUIRE(rank_a >= 0 && rank_a < n_ && rank_b >= 0 && rank_b < n_,
+                  "swap_pref_entries ranks (" << rank_a << ',' << rank_b
+                                              << ") out of range for n=" << n_);
+  const std::size_t base = row_base(m, g);
+  Index* const pref = pref_data();
+  const Index at_a = pref[base + static_cast<std::size_t>(rank_a)];
+  const Index at_b = pref[base + static_cast<std::size_t>(rank_b)];
+  KSTABLE_REQUIRE(at_a >= 0 && at_b >= 0,
+                  "swap_pref_entries on an unset list of " << m
+                                                           << " over gender "
+                                                           << g);
+  pref[base + static_cast<std::size_t>(rank_a)] = at_b;
+  pref[base + static_cast<std::size_t>(rank_b)] = at_a;
+  // Only the two swapped members' rank cells move; the rest of the row is
+  // untouched (the in-place rewrite the incremental layer relies on).
+  if (width_ == prefs::RankWidth::narrow16) {
+    std::uint16_t* const rank = rank16_data();
+    rank[base + static_cast<std::size_t>(at_a)] =
+        static_cast<std::uint16_t>(rank_b);
+    rank[base + static_cast<std::size_t>(at_b)] =
+        static_cast<std::uint16_t>(rank_a);
+  } else {
+    std::uint32_t* const rank = rank32_data();
+    rank[base + static_cast<std::size_t>(at_a)] =
+        static_cast<std::uint32_t>(rank_b);
+    rank[base + static_cast<std::size_t>(at_b)] =
+        static_cast<std::uint32_t>(rank_a);
+  }
+  ++generation_;
 }
 
 std::int32_t KPartiteInstance::rank_of(MemberId m, MemberId other) const {

@@ -71,7 +71,26 @@ class KPartiteInstance {
 
   /// Overwrites the preference order of `m` over gender `g`. `order` must be
   /// a permutation of [0, n) — enforced here (fail-fast on malformed input).
+  /// A mutation: bumps generation() (see below).
   void set_pref_list(MemberId m, Gender g, std::span<const Index> order);
+
+  /// Swaps the entries at ranks `rank_a` and `rank_b` in m's list over gender
+  /// `g`, rewriting both the pref row and the two touched rank-table cells in
+  /// place (no allocation). The list must already be set. A mutation: bumps
+  /// generation(). rank_a == rank_b is a no-op that still bumps (callers
+  /// treat every mutator call as a delta).
+  void swap_pref_entries(MemberId m, Gender g, Index rank_a, Index rank_b);
+
+  /// Mutation counter: starts at 0 and increments on every mutating call
+  /// (set_pref_list, swap_pref_entries). Consumers that memoize per-instance
+  /// results (core::GsEdgeCache) record the generation they were built
+  /// against and fail loudly when it has moved — the staleness guard that
+  /// replaced the old "instances are immutable" contract
+  /// (docs/INCREMENTAL.md). Copies (including relaid()) inherit the source's
+  /// generation: they are semantically equal at the moment of the copy.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
 
   /// Rank of `other` in m's list for other.gender (0 = most preferred).
   [[nodiscard]] std::int32_t rank_of(MemberId m, MemberId other) const;
@@ -180,6 +199,7 @@ class KPartiteInstance {
 
   Gender k_ = 0;
   Index n_ = 0;
+  std::uint64_t generation_ = 0;
   prefs::RankWidth width_ = prefs::RankWidth::narrow16;
   std::size_t cells_ = 0;        ///< k·(k-1)·n·n used entries per table
   std::size_t pref_offset_ = 0;  ///< byte offset of the pref carve (0)

@@ -130,6 +130,7 @@ FallbackReport solve_with_fallback(const KPartiteInstance& inst,
     sopts.pool = options.pool;
     sopts.cache = options.cache;
     sopts.fold = core::SweepFold::first_stable;
+    sopts.warm_start = options.warm_start;
     sopts.per_tree_budget = options.per_attempt;
     sopts.budget_backoff = options.backoff;
     sopts.chunk_trees = 1;
@@ -181,6 +182,7 @@ FallbackReport solve_with_fallback(const KPartiteInstance& inst,
       try {
         core::BindingOptions bopts{options.engine, options.pool, &control};
         bopts.cache = options.cache;
+        bopts.warm_start = options.warm_start;
         auto result = core::iterative_binding(inst, tree, bopts);
         log.status = result.status;
         report.attempts.push_back(std::move(log));
@@ -218,6 +220,7 @@ FallbackReport solve_with_fallback(const KPartiteInstance& inst,
       core::PriorityBindingOptions popts;
       popts.binding = {options.engine, options.pool, &control};
       popts.binding.cache = options.cache;
+      popts.binding.warm_start = options.warm_start;
       auto pr = core::priority_binding(inst, popts);
       log.tree_edges = pr.tree.edges();
       log.status = pr.binding.status;

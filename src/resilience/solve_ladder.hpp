@@ -80,6 +80,12 @@ struct FallbackOptions {
   /// by an aborted attempt replay for free on the next one (and are not
   /// re-charged against its budget). Must be built for this instance.
   core::GsEdgeCache* cache = nullptr;
+  /// Optional warm-start provider (incremental::DeltaWarmStart), threaded
+  /// into every rung's BindingOptions — strict trees, the speculative sweep,
+  /// and the degraded Algorithm 2 attempt alike. Edges outside the previous
+  /// solve's tree fall back to the cold engine (the provider answers
+  /// nullopt), so retry rungs on different trees stay correct.
+  const core::WarmStartProvider* warm_start = nullptr;
 };
 
 struct FallbackReport {

@@ -11,11 +11,14 @@
 #include "graph/binding_structure.hpp"
 #include "gs/parallel_gs.hpp"
 #include "gs/scan_gs.hpp"
+#include "incremental/mutation.hpp"
+#include "incremental/rematch.hpp"
 #include "resilience/control.hpp"
 #include "resilience/errors.hpp"
 #include "resilience/solve_ladder.hpp"
 #include "roommates/adapters.hpp"
 #include "roommates/solver.hpp"
+#include "util/rng.hpp"
 #include "verify/cert_checker.hpp"
 
 namespace kstable::verify {
@@ -302,6 +305,152 @@ void binding_checks(const KPartiteInstance& inst, const Recorder& rec,
   }
 }
 
+/// Incremental re-stabilization legs (src/incremental/, docs/INCREMENTAL.md).
+/// A mutable copy of the instance absorbs `churn_steps` seeded random
+/// preference deltas; after every step the incremental pipeline must agree
+/// bitwise with a cold solve of the mutated instance, the generation-bound
+/// cache must refuse stale lookups, and the warm path must provably do less
+/// work than starting over (the counter checks are scoped to single-pair
+/// deltas at k >= 3, where "strictly fewer" is a theorem, not a heuristic).
+void churn_checks(const KPartiteInstance& original, const Recorder& rec,
+                  const DiffOptions& options) {
+  const Gender k = original.genders();
+  const auto path = trees::path(k);
+  KPartiteInstance inst = original;
+  // Derived stream: decoupled from the generator's seed usage so adding
+  // churn legs does not perturb what the other batteries see.
+  Rng rng(rec.seed ^ 0xc1124e5ab17e5eedULL);
+
+  core::GsEdgeCache cache(inst);  // generation-bound
+  core::BindingOptions cached_opts;
+  cached_opts.cache = &cache;
+  core::BindingResult previous = core::iterative_binding(inst, path,
+                                                         cached_opts);
+
+  auto compare_matching = [&](const core::BindingResult& cold,
+                              const KaryMatching& got, const char* id,
+                              const char* label) {
+    std::ostringstream os;
+    if (!(got == cold.matching())) {
+      os << label << " diverges from the cold re-solve: "
+         << describe_diff(cold.matching().raw(), got.raw());
+    }
+    rec.check(got == cold.matching(), id, os.str());
+  };
+
+  for (std::int32_t step = 0; step < options.churn_steps; ++step) {
+    auto delta = incremental::random_mutation(inst, rng);
+    if (step % 3 == 2) {
+      // Every third step stacks a second mutation before re-stabilizing, so
+      // the merged-delta path (earliest-old-row-wins) is exercised too.
+      delta.merge(incremental::random_mutation(inst, rng));
+    }
+
+    // Stale-cache guard: the cache is still bound to the pre-delta
+    // generation, so a cached solve must throw instead of serving memoized
+    // results for rewritten rows.
+    {
+      bool threw = false;
+      try {
+        (void)core::iterative_binding(inst, path, cached_opts);
+      } catch (const std::logic_error&) {
+        threw = true;
+      }
+      rec.check(threw, "churn.cache.stale-guard",
+                "generation-bound cache served a mutated instance without "
+                "throwing");
+    }
+
+    // Cold reference: full re-solve of the mutated instance, no cache.
+    const auto cold = core::iterative_binding(inst, path);
+    const std::size_t ready_before = cache.size();
+    const bool single_pair = !delta.shape_changed &&
+                             delta.touched_pairs().size() == 1;
+
+    {  // Cached warm rematch: the headline incremental path.
+      incremental::RematchOptions ropts;
+      ropts.cache = &cache;
+      const auto warm = incremental::rematch(inst, path, previous, delta,
+                                             ropts);
+      compare_matching(cold, warm.result.matching(), "churn.rematch.bitwise",
+                       "cached warm rematch");
+      std::ostringstream es;
+      bool edges_ok = warm.result.edge_results.size() ==
+                      cold.edge_results.size();
+      for (std::size_t e = 0; edges_ok && e < cold.edge_results.size(); ++e) {
+        edges_ok = warm.result.edge_results[e].proposer_match ==
+                       cold.edge_results[e].proposer_match &&
+                   warm.result.edge_results[e].responder_match ==
+                       cold.edge_results[e].responder_match;
+        if (!edges_ok) es << "per-edge divergence at tree edge " << e;
+      }
+      rec.check(edges_ok, "churn.rematch.edges.bitwise", es.str());
+      if (single_pair && k >= 3) {
+        std::ostringstream os;
+        os << "targeted invalidation dropped " << warm.slots_invalidated
+           << " slots, clear() would have dropped " << ready_before;
+        rec.check(warm.slots_invalidated < ready_before,
+                  "churn.cache.invalidate.targeted", os.str());
+        std::ostringstream ps;
+        ps << "warm rematch executed " << warm.result.executed_proposals
+           << " proposals, cold re-solve " << cold.total_proposals;
+        rec.check(warm.result.executed_proposals < cold.total_proposals,
+                  "churn.cache.executed.fewer", ps.str());
+      }
+    }
+
+    {  // Pure-provider path (no cache): every engine's cold fallback must
+       // not matter — reused + warm answers cover the whole tree.
+      for (const auto engine : {core::GsEngine::queue, core::GsEngine::rounds,
+                                core::GsEngine::prefetch}) {
+        incremental::RematchOptions ropts;
+        ropts.engine = engine;
+        const auto warm = incremental::rematch(inst, path, previous, delta,
+                                               ropts);
+        std::ostringstream os;
+        os << "provider rematch under engine " << core::to_string(engine);
+        compare_matching(cold, warm.result.matching(),
+                         "churn.rematch.engine.bitwise", os.str().c_str());
+        std::ostringstream es;
+        es << "edges reused " << warm.edges_reused << " + warm "
+           << warm.edges_warm << " + cold " << warm.edges_cold
+           << " != " << (k - 1) << " tree edges";
+        rec.check(warm.edges_reused + warm.edges_warm + warm.edges_cold ==
+                      static_cast<std::int64_t>(k) - 1,
+                  "churn.rematch.edge-accounting", es.str());
+      }
+    }
+
+    {  // Width twin: the relaid copy shares the generation, so the same
+       // delta warm-restarts it — and must land on the same matching.
+      const auto other = inst.rank_width() == prefs::RankWidth::narrow16
+                             ? prefs::RankWidth::wide32
+                             : prefs::RankWidth::narrow16;
+      if (other != prefs::RankWidth::narrow16 || inst.per_gender() < 65536) {
+        const auto twin = KPartiteInstance::relaid(inst, other);
+        const auto warm = incremental::rematch(twin, path, previous, delta);
+        compare_matching(cold, warm.result.matching(), "churn.width.bitwise",
+                         "relaid-width warm rematch");
+      }
+    }
+
+    {  // Ladder integration: warm_start threads through every rung.
+      const incremental::DeltaWarmStart provider(previous, delta);
+      resilience::FallbackOptions fopts;
+      fopts.warm_start = &provider;
+      const auto report = resilience::solve_with_fallback(inst, fopts);
+      rec.check(report.succeeded, "churn.ladder.succeeded",
+                "warm-started ladder failed on an unconstrained solve");
+      if (report.succeeded) {
+        compare_matching(cold, report.matching(), "churn.ladder.bitwise",
+                         "warm-started ladder");
+      }
+    }
+
+    previous = cold;  // the next step warm-starts from this solve
+  }
+}
+
 /// Bipartite-only: Irving-based fair SMP against Gale-Shapley. man_oriented
 /// rotation elimination is documented to equal men-proposing GS, and
 /// woman_oriented women-proposing GS — a cross-algorithm agreement.
@@ -431,6 +580,7 @@ BatteryResult run_battery(const KPartiteInstance& inst, Shape shape,
 
   layout_checks(inst, rec);
   binding_checks(inst, rec, options);
+  if (options.churn_steps > 0) churn_checks(inst, rec, options);
 
   if (shape == Shape::bipartite && inst.genders() == 2) {
     fair_smp_checks(inst, *gs01, *gs10, rec);

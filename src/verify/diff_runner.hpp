@@ -66,6 +66,15 @@ struct DiffOptions {
   /// (the sequential battery is pool-free so ASan/CI sweeps stay cheap).
   ThreadPool* pool = nullptr;
   Sabotage sabotage = Sabotage::none;
+  /// Incremental re-stabilization legs (src/incremental/): apply this many
+  /// seeded random preference mutations to a copy of the instance and, after
+  /// every step, assert that rematch() — warm restart + targeted cache
+  /// invalidation — reproduces a cold solve of the mutated instance bitwise,
+  /// that a stale generation-bound cache refuses to serve, and that the
+  /// warm path provably does less work (fewer slots reset than clear(),
+  /// fewer proposals executed than cold, on single-pair deltas at k >= 3).
+  /// 0 skips the churn legs.
+  std::int32_t churn_steps = 0;
 };
 
 /// One violated agreement relation, with replay provenance.

@@ -40,6 +40,7 @@ VerifySummary run_verification(const VerifyOptions& options) {
   DiffOptions diff;
   diff.pool = pool.get();
   diff.sabotage = options.sabotage;
+  diff.churn_steps = options.churn_steps;
 
   const auto& shapes = options.shapes;
   for (const Shape shape : shapes) {

@@ -37,6 +37,10 @@ struct VerifyOptions {
   Sabotage sabotage = Sabotage::none;  ///< self-test corruption
   /// Workers for the parallel-GS leg; 0 = skip that comparison.
   std::size_t pool_threads = 0;
+  /// Preference-churn steps per instance (DiffOptions::churn_steps): each
+  /// step mutates the instance and asserts the incremental rematch pipeline
+  /// agrees with a cold solve bitwise. 0 = skip the churn legs.
+  std::int32_t churn_steps = 0;
   /// Shrink and save at most this many mismatching instances (0 = never).
   std::int64_t max_repros = 1;
   std::string repro_dir = ".";

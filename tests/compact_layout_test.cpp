@@ -51,6 +51,53 @@ TEST(CompactRanks, NarrowWidthRejectsLargeN) {
                ContractViolation);
 }
 
+// The narrow16 boundary, audited cell by cell: ranks live in [0, n), so at
+// the largest narrow16 size (n = 65535) the maximum stored rank is 65534 —
+// one below the u16 all-ones "unset" sentinel — and no valid rank can ever
+// collide with the sentinel at ANY accepted size. n = 65536 is the first
+// invalid size and must be rejected exactly there (the width REQUIRE runs
+// before the arena allocation, so the throw is cheap even for sizes whose
+// tables would be tens of GB).
+TEST(CompactRanks, Narrow16BoundaryRanksCannotCollideWithSentinel) {
+  static_assert(prefs::kUnsetRank<std::uint16_t> == 65535,
+                "u16 sentinel is the all-ones value");
+  static_assert(prefs::kUnsetRank<std::uint32_t> == 0xffffffffu,
+                "u32 sentinel is the all-ones value");
+  // Largest accepted narrow16 size: max rank 65534 != sentinel 65535.
+  EXPECT_EQ(prefs::natural_rank_width(65535), prefs::RankWidth::narrow16);
+  EXPECT_LT(65535 - 1, static_cast<std::int32_t>(
+                           prefs::kUnsetRank<std::uint16_t>));
+  // First invalid size, rejected exactly at the boundary.
+  EXPECT_EQ(prefs::natural_rank_width(65536), prefs::RankWidth::wide32);
+  EXPECT_THROW(KPartiteInstance(2, 65536, prefs::RankWidth::narrow16),
+               ContractViolation);
+  // The explicit-width ctor accepts the reverse override (wide32 at small n).
+  EXPECT_NO_THROW(KPartiteInstance(2, 4, prefs::RankWidth::wide32));
+}
+
+TEST(CompactRanks, RelaidRoundTripPreservesContentsAndGeneration) {
+  Rng rng(77);
+  auto inst = gen::uniform(3, 9, rng);
+  inst.swap_pref_entries({0, 2}, 1, 0, 5);
+  inst.swap_pref_entries({2, 1}, 0, 3, 4);
+  const auto gen_before = inst.generation();
+  ASSERT_GT(gen_before, 0u);
+  // narrow16 -> wide32 -> narrow16: contents and generation both survive (a
+  // relaid copy is semantically equal at the moment of the copy, so the
+  // staleness guard must treat it as the same generation).
+  const auto wide = KPartiteInstance::relaid(inst, prefs::RankWidth::wide32);
+  EXPECT_EQ(wide.generation(), gen_before);
+  EXPECT_TRUE(wide == inst);
+  const auto back = KPartiteInstance::relaid(wide, prefs::RankWidth::narrow16);
+  EXPECT_EQ(back.generation(), gen_before);
+  EXPECT_TRUE(back == inst);
+  for (Index i = 0; i < 9; ++i) {
+    for (Index j = 0; j < 9; ++j) {
+      EXPECT_EQ(back.rank_of({0, i}, {1, j}), inst.rank_of({0, i}, {1, j}));
+    }
+  }
+}
+
 TEST(CompactRanks, RankRowViewReadsBothWidths) {
   Rng rng(1200);
   const auto narrow = gen::uniform(2, 20, rng);

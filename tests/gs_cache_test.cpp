@@ -17,6 +17,7 @@
 #include "core/binding.hpp"
 #include "core/gs_cache.hpp"
 #include "core/tree_selection.hpp"
+#include "graph/binding_structure.hpp"
 #include "graph/prufer.hpp"
 #include "prefs/generators.hpp"
 #include "resilience/fault_injection.hpp"
@@ -216,13 +217,107 @@ TEST(GsEdgeCache, ClearResetsEntriesAndCounters) {
   run_binding(inst, {0, 1}, options);
   run_binding(inst, {0, 1}, options);
   EXPECT_EQ(cache.stats().hits, 1);
-  cache.clear();
+  EXPECT_EQ(cache.clear(), 1u);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().hits, 0);
   EXPECT_EQ(cache.stats().misses, 0);
   bool hit = true;
   run_binding(inst, {0, 1}, options, &hit);
   EXPECT_FALSE(hit);
+}
+
+// ---------------------------------------------------------------------------
+// Staleness guard and targeted invalidation (the incremental-rematch half of
+// the cache contract; see docs/INCREMENTAL.md).
+
+TEST(GsEdgeCache, GenerationBoundCacheRejectsMutatedInstance) {
+  Rng rng(47);
+  auto inst = gen::uniform(3, 6, rng);
+  GsEdgeCache cache(inst);  // instance-bound: guard armed
+  ASSERT_TRUE(cache.bound_generation().has_value());
+  EXPECT_EQ(*cache.bound_generation(), inst.generation());
+
+  BindingOptions options;
+  options.cache = &cache;
+  run_binding(inst, {0, 1}, options);  // warm while clean: fine
+
+  inst.swap_pref_entries({0, 0}, 1, 0, 1);  // bumps generation()
+  EXPECT_NE(*cache.bound_generation(), inst.generation());
+  // Every cached entry point must refuse to serve against mutated rows.
+  EXPECT_THROW(cache.check_instance(inst), std::logic_error);
+  EXPECT_THROW(run_binding(inst, {0, 1}, options), std::logic_error);
+  const auto tree = trees::star(3, 0);
+  EXPECT_THROW(iterative_binding(inst, tree, options), std::logic_error);
+
+  // Dropping the cache restores plain (correct, uncached) solving.
+  options.cache = nullptr;
+  EXPECT_FALSE(run_binding(inst, {0, 1}, options).proposer_match.empty());
+}
+
+TEST(GsEdgeCache, LegacyGenderBoundCacheKeepsGuardOff) {
+  Rng rng(48);
+  auto inst = gen::uniform(3, 6, rng);
+  GsEdgeCache cache(Gender{3});  // legacy ctor: caller owns the pairing
+  EXPECT_FALSE(cache.bound_generation().has_value());
+  BindingOptions options;
+  options.cache = &cache;
+  run_binding(inst, {0, 1}, options);
+  inst.swap_pref_entries({0, 0}, 1, 0, 1);
+  // No generation recorded, so only the gender count is checked. (This is
+  // the documented legacy hazard: the result may now be stale.)
+  EXPECT_NO_THROW(cache.check_instance(inst));
+  bool hit = false;
+  run_binding(inst, {0, 1}, options, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(GsEdgeCache, InvalidateResetsOnlyTheTargetedEdge) {
+  const Gender k = 4;
+  Rng rng(49);
+  auto inst = gen::uniform(k, 6, rng);
+  GsEdgeCache cache(inst);
+  BindingOptions options;
+  options.cache = &cache;
+  // Warm one oriented edge per unordered pair plus the reverse of (0,1).
+  run_binding(inst, {0, 1}, options);
+  run_binding(inst, {1, 0}, options);
+  run_binding(inst, {1, 2}, options);
+  run_binding(inst, {2, 3}, options);
+  ASSERT_EQ(cache.size(), 4u);
+  const auto stats_before = cache.stats();
+
+  // Mutate a (0, 1) row, then invalidate exactly that pair's orientations.
+  inst.swap_pref_entries({0, 2}, 1, 1, 3);
+  EXPECT_EQ(cache.invalidate({0, 1}), 1u);
+  EXPECT_EQ(cache.invalidate({1, 0}), 1u);
+  // Untouched pairs keep their entries; a second invalidate finds nothing.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.invalidate({0, 1}), 0u);
+  // Counters survive invalidate (unlike clear) — rematch accounting relies
+  // on hit/miss totals accumulating across incremental steps.
+  EXPECT_EQ(cache.stats().hits, stats_before.hits);
+  EXPECT_EQ(cache.stats().misses, stats_before.misses);
+
+  // rebind() re-arms the guard at the new generation: cached solving works
+  // again, replaying untouched edges and recomputing the invalidated ones.
+  cache.rebind(inst);
+  EXPECT_EQ(*cache.bound_generation(), inst.generation());
+  bool hit = true;
+  run_binding(inst, {0, 1}, options, &hit);
+  EXPECT_FALSE(hit);  // invalidated: recomputed
+  run_binding(inst, {1, 2}, options, &hit);
+  EXPECT_TRUE(hit);  // untouched: replayed
+  run_binding(inst, {2, 3}, options, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(GsEdgeCache, RebindRequiresMatchingGenderCount) {
+  Rng rng(50);
+  const auto inst3 = gen::uniform(3, 4, rng);
+  const auto inst4 = gen::uniform(4, 4, rng);
+  GsEdgeCache cache(inst3);
+  EXPECT_THROW(cache.rebind(inst4), ContractViolation);
+  EXPECT_NO_THROW(cache.rebind(inst3));
 }
 
 // ---------------------------------------------------------------------------
