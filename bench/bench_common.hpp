@@ -60,11 +60,28 @@ inline bool refuse_non_release_export(int argc, char** argv) {
   return true;
 }
 
+/// Which preference backend the binary's benchmarks exercise, stamped into
+/// the JSON context as "kstable.pref_backend". Defaults to "explicit";
+/// benchmarks over generator-backed instances (bench_e21_implicit) call
+/// set_pref_backend() before KSTABLE_BENCH_MAIN's context attach runs.
+/// scripts/compare_bench.py refuses to compare two files whose backends
+/// differ — an explicit-tables baseline says nothing about implicit solves.
+inline const char*& pref_backend_label() {
+  static const char* label = "explicit";
+  return label;
+}
+
+inline void set_pref_backend(const char* label) {
+  pref_backend_label() = label;
+}
+
 /// Adds every registered instrument as a "kstable.<name>" context entry
 /// (counters/gauges as the value, histograms as "sum/count"), plus the
-/// build type and CPU count any timing comparison needs for context.
+/// build type, CPU count, and preference backend any timing comparison
+/// needs for context.
 inline void attach_metrics_context() {
   benchmark::AddCustomContext("kstable.build_type", build_type());
+  benchmark::AddCustomContext("kstable.pref_backend", pref_backend_label());
   benchmark::AddCustomContext(
       "kstable.cpu_count", std::to_string(std::thread::hardware_concurrency()));
   for (const auto& s : kstable::obs::MetricsRegistry::global().snapshot()) {

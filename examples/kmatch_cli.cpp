@@ -26,6 +26,10 @@
 //                                            windowed workload with SHED
 //                                            backoff, resend, reconnect, and
 //                                            duplicate-consistency checking
+//   kmatch mertens [--n= --samples= --seed=] regenerate the Mertens random-SMP
+//                                            asymptotics (partner rank ~ ln n /
+//                                            n/ln n) on the implicit backend;
+//                                            n up to 2*10^6 in O(n) memory
 //   kmatch info  <file>                      print instance dimensions
 //
 // Global flags (accepted anywhere on the command line):
@@ -66,6 +70,7 @@
 // still in flight. `kmatch ping`: 0 when every request was acknowledged
 // exactly-once-consistently, 1 on lost or inconsistent responses, 2 usage.
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -124,6 +129,13 @@ struct PingFlags {
   std::string emit;         ///< write the workload as raw frames, don't connect
   std::string metrics_out;  ///< scrape a STATS body after the workload
 } g_ping;
+/// `kmatch mertens` knobs. n deliberately ranges far beyond what explicit
+/// tables could hold — the experiment runs on the implicit backend only.
+struct MertensFlags {
+  Index n = 100000;
+  std::int64_t samples = 3;
+  std::uint64_t seed = 1;
+} g_mertens;
 /// Telemetry of the command's top-level solve, for --stats-json/--stats-prom.
 std::optional<obs::SolveTelemetry> g_telemetry;
 
@@ -144,6 +156,7 @@ int usage() {
                "  kmatch stats <file>\n"
                "  kmatch dot <file> tree|matching\n"
                "  kmatch verify [verify flags]\n"
+               "  kmatch mertens [--n=<n> --samples=<s> --seed=<n>]\n"
                "  kmatch serve --stdio|--port=<p> [serve flags]\n"
                "  kmatch ping --port=<p> [ping flags]\n"
                "  kmatch info <file>\n"
@@ -570,6 +583,10 @@ int cmd_serve(int argc, char** /*argv*/) {
 
 int cmd_ping(int argc, char** /*argv*/) {
   if (argc != 2) return usage();  // everything is flag-driven
+  if (g_ping.n > 4096) {  // --n= parses wider for mertens; ping keeps its cap
+    std::cerr << "--n value out of range [1, 4096] for ping\n";
+    return usage();
+  }
   serve::PingOptions options;
   options.port = g_serve.port.value_or(0);
   options.requests = g_ping.requests;
@@ -619,6 +636,60 @@ int cmd_ping(int argc, char** /*argv*/) {
     out << report.metrics_body << '\n';
   }
   return report.success() ? 0 : 1;
+}
+
+/// `kmatch mertens` — regenerate the Mertens (cond-mat/0509221) random-SMP
+/// asymptotics on generator-backed uniform bipartite instances: the mean
+/// proposer partner rank tracks ln n, the mean responder partner rank tracks
+/// n / ln n, and the proposal count tracks n ln n. Runs entirely on the
+/// implicit backend (docs/PERFORMANCE.md §Implicit preferences), so n can
+/// far exceed what explicit tables would hold — memory stays O(n).
+int cmd_mertens(int argc, char** /*argv*/) {
+  if (argc != 2) return usage();  // everything is flag-driven
+  const Index n = g_mertens.n;
+  const double ln_n = std::log(static_cast<double>(n));
+  const double n_over_ln_n = static_cast<double>(n) / ln_n;
+  const double n_ln_n = static_cast<double>(n) * ln_n;
+
+  TableWriter table(
+      "Mertens asymptotics, implicit uniform bipartite (n=" +
+          std::to_string(n) + ", " + std::to_string(g_mertens.samples) +
+          " seed(s); expect ~1.0 in the ratio columns)",
+      {"seed", "solve ms", "proposals", "/(n ln n)", "proposer mean",
+       "/ln n", "responder mean", "/(n/ln n)"});
+  double sum_prop_ratio = 0.0;
+  double sum_resp_ratio = 0.0;
+  double sum_proposals_ratio = 0.0;
+  for (std::int64_t s = 0; s < g_mertens.samples; ++s) {
+    const std::uint64_t seed = g_mertens.seed + static_cast<std::uint64_t>(s);
+    const auto inst = KPartiteInstance::make_implicit(
+        2, n, {prefs::imp::Family::uniform, seed});
+    const auto result = gs::gale_shapley_queue(inst, 0, 1);
+    double psum = 0.0;
+    double rsum = 0.0;
+    for (Index p = 0; p < n; ++p) {
+      const Index r = result.proposer_match[static_cast<std::size_t>(p)];
+      psum += inst.rank_of({0, p}, {1, r});
+      rsum += inst.rank_of({1, r}, {0, p});
+    }
+    const double pmean = psum / static_cast<double>(n);
+    const double rmean = rsum / static_cast<double>(n);
+    sum_prop_ratio += pmean / ln_n;
+    sum_resp_ratio += rmean / n_over_ln_n;
+    sum_proposals_ratio += static_cast<double>(result.proposals) / n_ln_n;
+    table.add_row({static_cast<std::int64_t>(seed), result.wall_ms,
+                   result.proposals,
+                   static_cast<double>(result.proposals) / n_ln_n, pmean,
+                   pmean / ln_n, rmean, rmean / n_over_ln_n});
+  }
+  table.print(std::cout);
+  const double inv = 1.0 / static_cast<double>(g_mertens.samples);
+  std::cout << "means over " << g_mertens.samples
+            << " seed(s): proposer rank = " << sum_prop_ratio * inv
+            << "x ln n, responder rank = " << sum_resp_ratio * inv
+            << "x n/ln n, proposals = " << sum_proposals_ratio * inv
+            << "x n ln n\n";
+  return 0;
 }
 
 int cmd_verify(int argc, char** /*argv*/) {
@@ -748,16 +819,25 @@ int main(int argc, char** argv) {
       if (!value) return usage();
       g_ping.k = *value;
     } else if (a.rfind("--n=", 0) == 0) {
-      const auto value = parse_arg<std::int32_t>(a.c_str() + 4, 1, 4096,
+      // Shared by ping (checked against its own 4096 cap at use) and
+      // mertens (implicit backend, so n can be huge in O(n) memory).
+      const auto value = parse_arg<std::int32_t>(a.c_str() + 4, 1, 2'000'000,
                                                  "--n value");
       if (!value) return usage();
       g_ping.n = *value;
+      g_mertens.n = *value;
+    } else if (a.rfind("--samples=", 0) == 0) {
+      const auto value = parse_arg<std::int64_t>(a.c_str() + 10, 1, 10'000,
+                                                 "--samples value");
+      if (!value) return usage();
+      g_mertens.samples = *value;
     } else if (a.rfind("--seed=", 0) == 0) {
       const auto value = parse_arg<std::uint64_t>(
           a.c_str() + 7, 0, std::numeric_limits<std::uint64_t>::max(),
           "--seed value");
       if (!value) return usage();
       g_ping.seed = *value;
+      g_mertens.seed = *value;
     } else if (a.rfind("--response-timeout-ms=", 0) == 0) {
       const auto value = parse_arg<double>(a.c_str() + 22, 1.0, 1e9,
                                            "--response-timeout-ms value");
@@ -838,6 +918,7 @@ int main(int argc, char** argv) {
     else if (cmd == "verify") rc = cmd_verify(nargs, args.data());
     else if (cmd == "serve") rc = cmd_serve(nargs, args.data());
     else if (cmd == "ping") rc = cmd_ping(nargs, args.data());
+    else if (cmd == "mertens") rc = cmd_mertens(nargs, args.data());
   } catch (const kstable::ExecutionAborted& e) {
     std::cerr << "aborted: " << e.what() << '\n';
     write_stats();  // aborted solves still export whatever was recorded

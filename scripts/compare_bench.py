@@ -36,7 +36,12 @@ import sys
 
 
 def load_benchmarks(path):
-    """name -> benchmark row, aggregates (mean/median/stddev rows) skipped."""
+    """(name -> benchmark row, pref backend); aggregate rows skipped.
+
+    The preference backend ("explicit" tables vs "implicit" generator) is
+    stamped into the JSON context by bench_common.hpp. Files predating the
+    stamp default to "explicit" — every benchmark then ran on tables.
+    """
     try:
         with open(path, encoding="utf-8") as fh:
             data = json.load(fh)
@@ -52,7 +57,8 @@ def load_benchmarks(path):
         print(f"compare_bench: {path} contains no benchmark rows",
               file=sys.stderr)
         sys.exit(2)
-    return rows
+    backend = data.get("context", {}).get("kstable.pref_backend", "explicit")
+    return rows, backend
 
 
 def check_exact_counters(base, fresh, counters, failures):
@@ -187,8 +193,17 @@ def main():
     args = parser.parse_args()
     counters = args.exact_counter or ["proposals"]
 
-    base = load_benchmarks(args.baseline)
-    fresh = load_benchmarks(args.fresh)
+    base, base_backend = load_benchmarks(args.baseline)
+    fresh, fresh_backend = load_benchmarks(args.fresh)
+    if base_backend != fresh_backend:
+        # Data error, not a regression: an explicit-tables baseline says
+        # nothing about implicit-generator solves (and vice versa), so a
+        # comparison across backends would gate noise.
+        print(f"compare_bench: preference backend mismatch: baseline "
+              f"{args.baseline} is '{base_backend}' but fresh {args.fresh} "
+              f"is '{fresh_backend}' — these runs are not comparable",
+              file=sys.stderr)
+        sys.exit(2)
 
     failures = []
     check_coverage(base, fresh, failures)

@@ -43,12 +43,29 @@ for b in build/bench/bench_*; do
 done
 mv bench_output.txt.partial bench_output.txt
 
-# E19 regression gate: the fresh run must not regress the committed
-# baseline's deterministic counters or its prefetch/queue time ratios
+# Regression gates: each fresh run must not regress the committed
+# baseline's deterministic counters or its pinned within-file time ratios
 # (machine-portable; see scripts/compare_bench.py --help for the classes).
+# E18: sweep totals (trees enumerated, scheduler chunk) are deterministic;
+# steals/fresh_gs_runs are scheduling-dependent and not gated.
+python3 scripts/compare_bench.py \
+  --baseline bench/baselines/BENCH_E18.json --fresh BENCH_e18.json \
+  --exact-counter trees --exact-counter chunk
+# E19: exact proposal counters plus prefetch/queue engine ratios.
 python3 scripts/compare_bench.py \
   --baseline bench/baselines/BENCH_E19.json --fresh BENCH_e19.json \
   --ratio bm_gs_prefetch_narrow bm_gs_queue_narrow \
   --ratio bm_gs_prefetch_wide bm_gs_queue_wide
+# E20: warm must stay cheaper than cold by the frozen-scenario counters.
+python3 scripts/compare_bench.py \
+  --baseline bench/baselines/BENCH_E20.json --fresh BENCH_e20.json \
+  --exact-counter warm_proposals --exact-counter cold_proposals
+# E21: implicit-backend proposals are deterministic (the explicit twin
+# solves the materialized same instances, so its counters match row for
+# row), and the implicit/explicit queue ratio pins the generator overhead.
+python3 scripts/compare_bench.py \
+  --baseline bench/baselines/BENCH_E21.json --fresh BENCH_e21.json \
+  --ratio bm_implicit_queue bm_explicit_queue \
+  --ratio bm_implicit_prefetch bm_implicit_queue
 
 echo "reproduce.sh: all experiments completed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "observability/metrics.hpp"
+#include "prefs/implicit/pref_view.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -69,29 +70,14 @@ void reserve_trace(const GsOptions& options, Index n) {
   }
 }
 
-/// Row addressing hoisted out of the proposal loops: row r of (gender g over
-/// target t) lives at `base + r * stride` in both tables. One multiply per
-/// proposal instead of the full row_base() chain.
-struct RowAddressing {
-  std::size_t prop_base;  ///< pref/rank row base of proposer (i, 0) over j
-  std::size_t resp_base;  ///< pref/rank row base of responder (j, 0) over i
-  std::size_t stride;     ///< (k-1)·n elements between consecutive members
-
-  RowAddressing(const KPartiteInstance& inst, Gender i, Gender j) noexcept
-      : prop_base(inst.row_base({i, 0}, j)),
-        resp_base(inst.row_base({j, 0}, i)),
-        stride(static_cast<std::size_t>(inst.genders() - 1) *
-               static_cast<std::size_t>(inst.per_gender())) {}
-};
-
-/// Queue-engine proposal loop, monomorphized on the stored rank type R
-/// (uint16_t or uint32_t): the accept/reject compare reads the typed table
-/// directly — no per-access width dispatch in the hot path.
-template <typename R>
-void queue_loop(const KPartiteInstance& inst, Gender i, Gender j,
-                const GsOptions& options, GsWorkspace& workspace,
-                GsResult& result) {
-  const Index n = inst.per_gender();
+/// Queue-engine proposal loop, monomorphized on the preference view
+/// (prefs/implicit/pref_view.hpp): ExplicitView<R> compiles to the raw
+/// hoisted-pointer loads this loop used to spell out inline (no per-access
+/// width or backend dispatch in the hot path); ImplicitView evaluates the
+/// same entries from the seeded generator in O(1) each.
+template <typename View>
+void queue_loop(const View view, Index n, const GsOptions& options,
+                GsWorkspace& workspace, GsResult& result) {
   // next_choice[p]: rank of the next responder p will propose to.
   workspace.next_choice.assign(static_cast<std::size_t>(n), Index{0});
   auto& free_stack = workspace.free_list;
@@ -103,33 +89,25 @@ void queue_loop(const KPartiteInstance& inst, Gender i, Gender j,
   Index* const proposer_match = result.proposer_match.data();
   Index* const responder_match = result.responder_match.data();
   Index* const next_choice = workspace.next_choice.data();
-  const Index* const pref = inst.pref_row({i, 0}, j).data();
-  const R* const rank_table = inst.rank_base<R>();
-  const RowAddressing rows(inst, i, j);
 
   while (!free_stack.empty()) {
     const Index p = free_stack.back();
     free_stack.pop_back();
-    const Index* const list =
-        pref + static_cast<std::size_t>(p) * rows.stride;
     KSTABLE_ASSERT(next_choice[static_cast<std::size_t>(p)] < n);
-    const Index r = list[static_cast<std::size_t>(
-        next_choice[static_cast<std::size_t>(p)]++)];
+    const Index r = view.pref_at(p, next_choice[static_cast<std::size_t>(p)]++);
     ++result.proposals;
     if (options.control != nullptr) options.control->charge();
 
     const Index holder = responder_match[static_cast<std::size_t>(r)];
-    // Hoisted rank row of responder r over gender i: the accept/reject
-    // compare is two loads, no per-proposal row_base recomputation.
-    const R* const ranks =
-        rank_table + rows.resp_base + static_cast<std::size_t>(r) * rows.stride;
+    // Hoisted responder row handle: the accept/reject compare is two rank
+    // evaluations off it, no per-proposal row re-derivation.
+    const auto ranks = view.resp_row(r);
     ProposalEvent event{p, r, false, -1};
     if (holder < 0) {
       responder_match[static_cast<std::size_t>(r)] = p;
       proposer_match[static_cast<std::size_t>(p)] = r;
       event.accepted = true;
-    } else if (ranks[static_cast<std::size_t>(p)] <
-               ranks[static_cast<std::size_t>(holder)]) {
+    } else if (view.rank_in(ranks, p) < view.rank_in(ranks, holder)) {
       responder_match[static_cast<std::size_t>(r)] = p;
       proposer_match[static_cast<std::size_t>(p)] = r;
       proposer_match[static_cast<std::size_t>(holder)] = -1;
@@ -154,13 +132,11 @@ void gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
   reset_result(result, i, j, n);
   reserve_trace(options, n);
 
-  // One width dispatch per solve; identical matchings either way (the
-  // DiffRunner layout battery pins narrow16 vs wide32 bitwise).
-  if (inst.rank_width() == prefs::RankWidth::narrow16) {
-    queue_loop<std::uint16_t>(inst, i, j, options, workspace, result);
-  } else {
-    queue_loop<std::uint32_t>(inst, i, j, options, workspace, result);
-  }
+  // One backend + width dispatch per solve; identical matchings every way
+  // (the DiffRunner layout and implicit batteries pin this bitwise).
+  prefs::with_pref_view(inst, i, j, [&](const auto view) {
+    queue_loop(view, n, options, workspace, result);
+  });
   result.rounds = result.proposals;
   result.engine = "gs.queue";
   result.wall_ms = timer.millis();
@@ -179,12 +155,11 @@ GsResult gale_shapley_queue(const KPartiteInstance& inst, Gender i, Gender j,
 
 namespace {
 
-/// Rounds-engine loop, monomorphized on the stored rank type R.
-template <typename R>
-void rounds_loop(const KPartiteInstance& inst, Gender i, Gender j,
-                 const GsOptions& options, GsWorkspace& workspace,
-                 GsResult& result) {
-  const Index n = inst.per_gender();
+/// Rounds-engine loop, monomorphized on the preference view (same dispatch
+/// as queue_loop).
+template <typename View>
+void rounds_loop(const View view, Index n, const GsOptions& options,
+                 GsWorkspace& workspace, GsResult& result) {
   workspace.next_choice.assign(static_cast<std::size_t>(n), Index{0});
   auto& free_list = workspace.free_list;
   free_list.resize(static_cast<std::size_t>(n));
@@ -196,9 +171,6 @@ void rounds_loop(const KPartiteInstance& inst, Gender i, Gender j,
   Index* const proposer_match = result.proposer_match.data();
   Index* const responder_match = result.responder_match.data();
   Index* const next_choice = workspace.next_choice.data();
-  const Index* const pref = inst.pref_row({i, 0}, j).data();
-  const R* const rank_table = inst.rank_base<R>();
-  const RowAddressing rows(inst, i, j);
 
   while (!free_list.empty()) {
     ++result.rounds;
@@ -210,24 +182,20 @@ void rounds_loop(const KPartiteInstance& inst, Gender i, Gender j,
     // Phase 1 of the round: every unengaged proposer proposes to the
     // most-preferred responder it has not yet proposed to (§II.A verbatim).
     for (const Index p : free_list) {
-      const Index* const list =
-          pref + static_cast<std::size_t>(p) * rows.stride;
-      const Index r = list[static_cast<std::size_t>(
-          next_choice[static_cast<std::size_t>(p)]++)];
+      const Index r =
+          view.pref_at(p, next_choice[static_cast<std::size_t>(p)]++);
       ++result.proposals;
       // Phase 2 folded in: the responder replies "maybe" only to the best
       // suitor seen so far (including its current provisional partner); the
-      // hoisted rank row makes that compare two loads.
+      // hoisted row handle makes that compare two rank evaluations.
       const Index holder = responder_match[static_cast<std::size_t>(r)];
-      const R* const ranks = rank_table + rows.resp_base +
-                             static_cast<std::size_t>(r) * rows.stride;
+      const auto ranks = view.resp_row(r);
       ProposalEvent event{p, r, false, -1};
       if (holder < 0) {
         responder_match[static_cast<std::size_t>(r)] = p;
         proposer_match[static_cast<std::size_t>(p)] = r;
         event.accepted = true;
-      } else if (ranks[static_cast<std::size_t>(p)] <
-                 ranks[static_cast<std::size_t>(holder)]) {
+      } else if (view.rank_in(ranks, p) < view.rank_in(ranks, holder)) {
         responder_match[static_cast<std::size_t>(r)] = p;
         proposer_match[static_cast<std::size_t>(p)] = r;
         proposer_match[static_cast<std::size_t>(holder)] = -1;
@@ -254,11 +222,9 @@ void gale_shapley_rounds(const KPartiteInstance& inst, Gender i, Gender j,
   reset_result(result, i, j, n);
   reserve_trace(options, n);
 
-  if (inst.rank_width() == prefs::RankWidth::narrow16) {
-    rounds_loop<std::uint16_t>(inst, i, j, options, workspace, result);
-  } else {
-    rounds_loop<std::uint32_t>(inst, i, j, options, workspace, result);
-  }
+  prefs::with_pref_view(inst, i, j, [&](const auto view) {
+    rounds_loop(view, n, options, workspace, result);
+  });
   result.engine = "gs.rounds";
   result.wall_ms = timer.millis();
   finish(inst, result);
@@ -299,12 +265,12 @@ bool is_stable_binding(const KPartiteInstance& inst, const GsResult& result) {
   for (Index p = 0; p < n; ++p) {
     const Index matched = result.proposer_match[static_cast<std::size_t>(p)];
     if (matched < 0) return false;
-    const auto list = inst.pref_list({i, p}, j);
     const std::int32_t matched_rank = inst.rank_of({i, p}, {j, matched});
     // Any responder p strictly prefers to its partner forms a blocking pair
-    // iff that responder also prefers p to its own partner.
+    // iff that responder also prefers p to its own partner. pref_at keeps
+    // this verifier backend-agnostic (implicit instances store no lists).
     for (std::int32_t rank = 0; rank < matched_rank; ++rank) {
-      const Index r = list[static_cast<std::size_t>(rank)];
+      const Index r = inst.pref_at({i, p}, j, static_cast<Index>(rank));
       const Index r_partner = result.responder_match[static_cast<std::size_t>(r)];
       if (r_partner < 0 || inst.prefers({j, r}, {i, p}, {i, r_partner})) {
         return false;

@@ -28,6 +28,9 @@ struct ProposalEvent {
   Index responder = -1;
   bool accepted = false;   ///< responder now holds proposer
   Index displaced = -1;    ///< previous holder set free (-1 if none)
+
+  friend bool operator==(const ProposalEvent&,
+                         const ProposalEvent&) = default;
 };
 
 /// Result of one binary binding between proposer gender and responder gender.

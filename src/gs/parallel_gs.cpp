@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "observability/metrics.hpp"
+#include "prefs/implicit/pref_view.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -57,6 +58,10 @@ GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
   result.proposer_match.assign(static_cast<std::size_t>(n), Index{-1});
   result.responder_match.assign(static_cast<std::size_t>(n), Index{-1});
 
+  // One backend + width dispatch up front; the per-chunk tasks then run the
+  // monomorphized view (pure reads, safe to share across the pool — the
+  // implicit generator evaluates statelessly).
+  prefs::with_pref_view(inst, i, j, [&](const auto view) {
   while (!free_list.empty()) {
     ++result.rounds;
     result.proposals += static_cast<std::int64_t>(free_list.size());
@@ -74,10 +79,10 @@ GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
         const Index p = free_list[idx];
         // Only this task touches p's proposal pointer (free_list is disjoint
         // across chunks), so no synchronization is needed here.
-        const auto list = inst.pref_list({i, p}, j);
-        const Index r = list[static_cast<std::size_t>(
-            next_choice[static_cast<std::size_t>(p)]++)];
-        const std::int32_t rank = inst.rank_of({j, r}, {i, p});
+        const Index r =
+            view.pref_at(p, next_choice[static_cast<std::size_t>(p)]++);
+        const std::int32_t rank =
+            static_cast<std::int32_t>(view.rank_in(view.resp_row(r), p));
         offer(slots[static_cast<std::size_t>(r)], pack(rank, p));
       }
     });
@@ -105,6 +110,7 @@ GsResult gale_shapley_parallel(const KPartiteInstance& inst, Gender i, Gender j,
       }
     }
   }
+  });
 
   for (Index r = 0; r < n; ++r) {
     KSTABLE_ENSURE(result.responder_match[static_cast<std::size_t>(r)] >= 0,

@@ -2,6 +2,7 @@
 
 #include "gs/simd.hpp"
 #include "observability/metrics.hpp"
+#include "prefs/implicit/pref_view.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -26,11 +27,14 @@ const bool kScanInstrumentsWarm = [] {
 }();
 #endif
 
-/// True iff responder (j, r) prefers proposer a over proposer b, determined
-/// by scanning the responder's list front-to-back (no rank table).
-bool scan_prefers(const KPartiteInstance& inst, Gender i, Gender j, Index r,
-                  Index a, Index b) {
-  for (const Index candidate : inst.pref_list({j, r}, i)) {
+/// True iff responder r prefers proposer a over proposer b, determined by
+/// walking the responder's list front-to-back through the view (no rank
+/// table). On the implicit backend each step is one Feistel evaluation.
+template <typename View>
+bool scan_prefers(const View& view, Index r, Index n, Index a, Index b) {
+  const auto row = view.resp_row(r);
+  for (Index c = 0; c < n; ++c) {
+    const Index candidate = view.resp_pref_in(row, c);
     if (candidate == a) return true;
     if (candidate == b) return false;
   }
@@ -41,18 +45,28 @@ bool scan_prefers(const KPartiteInstance& inst, Gender i, Gender j, Index r,
 
 /// Vectorized scan_prefers: position of the earliest of {a, b} on the list,
 /// found 8/4 lanes at a time. Same verdict as the scalar scan bit for bit.
-bool scan_prefers_simd(const KPartiteInstance& inst, Gender i, Gender j,
-                       Index r, Index a, Index b) {
-  const auto list = inst.pref_list({j, r}, i);
-  const std::size_t pos = simd::first_of_pair(list.data(), list.size(), a, b);
-  KSTABLE_REQUIRE(pos < list.size(), "neither " << a << " nor " << b
-                                                << " on responder " << r
-                                                << "'s list");
-  return list[pos] == a;
+/// The kernel needs the row in contiguous memory; the implicit backend has
+/// none, so it falls back to the scalar walk (identical earliest-hit
+/// semantics, pinned by the DiffRunner implicit battery).
+template <typename View>
+bool scan_prefers_simd(const View& view, Index r, Index n, Index a, Index b) {
+  if constexpr (View::kContiguousRows) {
+    const auto list = view.resp_pref_span(r, n);
+    const std::size_t pos =
+        simd::first_of_pair(list.data(), list.size(), a, b);
+    KSTABLE_REQUIRE(pos < list.size(), "neither " << a << " nor " << b
+                                                  << " on responder " << r
+                                                  << "'s list");
+    return list[pos] == a;
+  } else {
+    return scan_prefers(view, r, n, a, b);
+  }
 }
 
 /// Shared body of the two scan engines: textbook free-stack GS where the
-/// accept/reject test is `prefers(inst, i, j, r, challenger, holder)`.
+/// accept/reject test is `prefers(view, r, n, challenger, holder)`. The
+/// `prefers` callable is generic over the view so each backend/width gets
+/// its own monomorphized loop.
 template <typename Prefers>
 GsResult scan_engine(const KPartiteInstance& inst, Gender i, Gender j,
                      const char* engine_label, Prefers&& prefers) {
@@ -72,33 +86,34 @@ GsResult scan_engine(const KPartiteInstance& inst, Gender i, Gender j,
   for (Index p = 0; p < n; ++p) {
     free_stack[static_cast<std::size_t>(p)] = n - 1 - p;
   }
-  while (!free_stack.empty()) {
-    const Index p = free_stack.back();
-    free_stack.pop_back();
-    const auto list = inst.pref_list({i, p}, j);
-    const Index r = list[static_cast<std::size_t>(
-        next_choice[static_cast<std::size_t>(p)]++)];
-    ++result.proposals;
-    const Index holder = result.responder_match[static_cast<std::size_t>(r)];
-    if (holder < 0) {
-      result.responder_match[static_cast<std::size_t>(r)] = p;
-      result.proposer_match[static_cast<std::size_t>(p)] = r;
-    } else if (prefers(inst, i, j, r, p, holder)) {
-      result.responder_match[static_cast<std::size_t>(r)] = p;
-      result.proposer_match[static_cast<std::size_t>(p)] = r;
-      result.proposer_match[static_cast<std::size_t>(holder)] = -1;
-      free_stack.push_back(holder);
-    } else {
-      free_stack.push_back(p);
+  prefs::with_pref_view(inst, i, j, [&](const auto view) {
+    while (!free_stack.empty()) {
+      const Index p = free_stack.back();
+      free_stack.pop_back();
+      const Index r =
+          view.pref_at(p, next_choice[static_cast<std::size_t>(p)]++);
+      ++result.proposals;
+      const Index holder = result.responder_match[static_cast<std::size_t>(r)];
+      if (holder < 0) {
+        result.responder_match[static_cast<std::size_t>(r)] = p;
+        result.proposer_match[static_cast<std::size_t>(p)] = r;
+      } else if (prefers(view, r, n, p, holder)) {
+        result.responder_match[static_cast<std::size_t>(r)] = p;
+        result.proposer_match[static_cast<std::size_t>(p)] = r;
+        result.proposer_match[static_cast<std::size_t>(holder)] = -1;
+        free_stack.push_back(holder);
+      } else {
+        free_stack.push_back(p);
+      }
     }
-  }
+  });
   result.rounds = result.proposals;
   result.engine = engine_label;
   result.wall_ms = timer.millis();
   return result;
 }
 
-/// Prefetch-pipelined queue loop, monomorphized on the rank type. The
+/// Prefetch-pipelined queue loop, monomorphized on the preference view. The
 /// proposal sequence is EXACTLY the queue engine's (same stack discipline:
 /// a displaced holder or a rejected proposer goes next, otherwise the stack
 /// top), so matchings, proposal counts, and traces are bitwise identical.
@@ -107,12 +122,12 @@ GsResult scan_engine(const KPartiteInstance& inst, Gender i, Gender j,
 /// rank-row cells are prefetched now, consumed at the next resolution —
 /// and speculatively prefetches the pref cell of the likely
 /// proposal-after-next (the stack top). Mispredicted prefetches touch a
-/// wasted cache line; they can never change the outcome.
-template <typename R>
-void prefetch_loop(const KPartiteInstance& inst, Gender i, Gender j,
-                   const GsOptions& options, GsWorkspace& workspace,
-                   GsResult& result) {
-  const Index n = inst.per_gender();
+/// wasted cache line; they can never change the outcome. On the implicit
+/// backend every prefetch is a no-op (there is no table to warm) and the
+/// staging collapses to the plain queue discipline.
+template <typename View>
+void prefetch_loop(const View view, Index n, const GsOptions& options,
+                   GsWorkspace& workspace, GsResult& result) {
   workspace.next_choice.assign(static_cast<std::size_t>(n), Index{0});
   auto& free_stack = workspace.free_list;
   free_stack.resize(static_cast<std::size_t>(n));
@@ -123,24 +138,19 @@ void prefetch_loop(const KPartiteInstance& inst, Gender i, Gender j,
   Index* const proposer_match = result.proposer_match.data();
   Index* const responder_match = result.responder_match.data();
   Index* const next_choice = workspace.next_choice.data();
-  const Index* const pref = inst.pref_row({i, 0}, j).data();
-  const R* const rank_table = inst.rank_base<R>();
-  const std::size_t stride = static_cast<std::size_t>(inst.genders() - 1) *
-                             static_cast<std::size_t>(n);
-  const std::size_t resp_base = inst.row_base({j, 0}, i);
 
   // Stage the first proposal (the queue engine's first pop).
   Index sp = free_stack.back();
   free_stack.pop_back();
-  Index sr = pref[static_cast<std::size_t>(sp) * stride];
+  Index sr = view.pref_at(sp, 0);
   next_choice[static_cast<std::size_t>(sp)] = 1;
-  const R* sranks = rank_table + resp_base + static_cast<std::size_t>(sr) * stride;
-  simd::prefetch_ro(sranks + static_cast<std::size_t>(sp));
+  auto srow = view.resp_row(sr);
+  view.prefetch_rank(srow, sp);
 
   while (true) {
     const Index p = sp;
     const Index r = sr;
-    const R* const ranks = sranks;
+    const auto ranks = srow;
     ++result.proposals;
     if (options.control != nullptr) options.control->charge();
 
@@ -151,8 +161,7 @@ void prefetch_loop(const KPartiteInstance& inst, Gender i, Gender j,
       responder_match[static_cast<std::size_t>(r)] = p;
       proposer_match[static_cast<std::size_t>(p)] = r;
       event.accepted = true;
-    } else if (ranks[static_cast<std::size_t>(p)] <
-               ranks[static_cast<std::size_t>(holder)]) {
+    } else if (view.rank_in(ranks, p) < view.rank_in(ranks, holder)) {
       responder_match[static_cast<std::size_t>(r)] = p;
       proposer_match[static_cast<std::size_t>(p)] = r;
       proposer_match[static_cast<std::size_t>(holder)] = -1;
@@ -175,22 +184,18 @@ void prefetch_loop(const KPartiteInstance& inst, Gender i, Gender j,
     // just touched); issue the rank-cell prefetches it will need.
     KSTABLE_ASSERT(next_choice[static_cast<std::size_t>(next)] < n);
     sp = next;
-    sr = pref[static_cast<std::size_t>(sp) * stride +
-              static_cast<std::size_t>(
-                  next_choice[static_cast<std::size_t>(sp)]++)];
-    sranks = rank_table + resp_base + static_cast<std::size_t>(sr) * stride;
-    simd::prefetch_ro(sranks + static_cast<std::size_t>(sp));
+    sr = view.pref_at(sp, next_choice[static_cast<std::size_t>(sp)]++);
+    srow = view.resp_row(sr);
+    view.prefetch_rank(srow, sp);
     const Index sholder = responder_match[static_cast<std::size_t>(sr)];
     if (sholder >= 0) {
-      simd::prefetch_ro(sranks + static_cast<std::size_t>(sholder));
+      view.prefetch_rank(srow, sholder);
     }
     // Speculate one further: the proposal after next most likely comes off
     // the stack top — warm its next pref cell.
     if (!free_stack.empty()) {
       const Index spec = free_stack.back();
-      simd::prefetch_ro(pref + static_cast<std::size_t>(spec) * stride +
-                        static_cast<std::size_t>(
-                            next_choice[static_cast<std::size_t>(spec)]));
+      view.prefetch_pref(spec, next_choice[static_cast<std::size_t>(spec)]);
     }
   }
 }
@@ -199,9 +204,9 @@ void prefetch_loop(const KPartiteInstance& inst, Gender i, Gender j,
 
 GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
   auto result = scan_engine(inst, i, j, "gs.scan",
-                            [](const KPartiteInstance& in, Gender a, Gender b,
-                               Index r, Index challenger, Index holder) {
-                              return scan_prefers(in, a, b, r, challenger,
+                            [](const auto& view, Index r, Index n,
+                               Index challenger, Index holder) {
+                              return scan_prefers(view, r, n, challenger,
                                                   holder);
                             });
   KSTABLE_COUNTER_ADD("gs.scan.solves", 1);
@@ -212,9 +217,9 @@ GsResult gale_shapley_scan(const KPartiteInstance& inst, Gender i, Gender j) {
 GsResult gale_shapley_scan_simd(const KPartiteInstance& inst, Gender i,
                                 Gender j) {
   auto result = scan_engine(inst, i, j, "gs.scan_simd",
-                            [](const KPartiteInstance& in, Gender a, Gender b,
-                               Index r, Index challenger, Index holder) {
-                              return scan_prefers_simd(in, a, b, r, challenger,
+                            [](const auto& view, Index r, Index n,
+                               Index challenger, Index holder) {
+                              return scan_prefers_simd(view, r, n, challenger,
                                                        holder);
                             });
   KSTABLE_COUNTER_ADD("gs.scan_simd.solves", 1);
@@ -242,11 +247,9 @@ void gale_shapley_prefetch(const KPartiteInstance& inst, Gender i, Gender j,
                                static_cast<std::size_t>(n));
   }
 
-  if (inst.rank_width() == prefs::RankWidth::narrow16) {
-    prefetch_loop<std::uint16_t>(inst, i, j, options, workspace, result);
-  } else {
-    prefetch_loop<std::uint32_t>(inst, i, j, options, workspace, result);
-  }
+  prefs::with_pref_view(inst, i, j, [&](const auto view) {
+    prefetch_loop(view, n, options, workspace, result);
+  });
   result.rounds = result.proposals;
   result.engine = "gs.prefetch";
   result.wall_ms = timer.millis();

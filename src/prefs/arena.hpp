@@ -24,6 +24,11 @@
 #include <memory>
 #include <new>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 #include "resilience/errors.hpp"
 
 namespace kstable::prefs {
@@ -70,6 +75,45 @@ inline std::size_t round_up(std::size_t bytes, std::size_t granule) {
   return checked_add(bytes, granule - 1) & ~(granule - 1);
 }
 
+/// True when KSTABLE_ARENA_HUGEPAGES=1 (checked once per process): newly
+/// allocated slabs are advised MADV_HUGEPAGE so the kernel backs them with
+/// transparent huge pages where it can. Opt-in because THP helps the big
+/// sequential rank tables (fewer dTLB misses on the random-probe side; see
+/// docs/PERFORMANCE.md §Huge pages) but can cost latency/memory on small
+/// instances. No-op on non-Linux builds and when the env var is unset.
+inline bool arena_hugepages_requested() noexcept {
+#if defined(__linux__)
+  static const bool requested = [] {
+    const char* env = std::getenv("KSTABLE_ARENA_HUGEPAGES");
+    return env != nullptr && env[0] == '1' && env[1] == '\0';
+  }();
+  return requested;
+#else
+  return false;
+#endif
+}
+
+/// Advises [addr, addr+bytes) toward transparent huge pages. madvise needs
+/// page-aligned addresses and the slab is only 64-byte aligned, so only the
+/// page-aligned interior range is advised; failure (old kernel, THP disabled
+/// system-wide) is deliberately ignored — the knob is advisory.
+inline void arena_advise_hugepages(std::byte* addr,
+                                   std::size_t bytes) noexcept {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const auto lo = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t first = (lo + page - 1) & ~(page - 1);
+  const std::uintptr_t last = (lo + bytes) & ~(page - 1);
+  if (last > first) {
+    (void)::madvise(reinterpret_cast<void*>(first), last - first,
+                    MADV_HUGEPAGE);
+  }
+#else
+  (void)addr;
+  (void)bytes;
+#endif
+}
+
 /// One aligned slab, allocated once at construction. Copy duplicates the
 /// bytes (instances are value types: the catalog and the shrinker copy
 /// them); move steals the slab. Never grows: an arena is sized for exactly
@@ -86,6 +130,9 @@ class PrefArena {
     if (bytes_ == 0) bytes_ = kArenaExtentBytes;
     slab_.reset(static_cast<std::byte*>(
         ::operator new(bytes_, std::align_val_t{kArenaAlign})));
+    if (arena_hugepages_requested()) {
+      arena_advise_hugepages(slab_.get(), bytes_);
+    }
     std::memset(slab_.get(), 0, bytes_);
   }
 
@@ -93,6 +140,9 @@ class PrefArena {
     if (other.slab_ != nullptr) {
       slab_.reset(static_cast<std::byte*>(
           ::operator new(bytes_, std::align_val_t{kArenaAlign})));
+      if (arena_hugepages_requested()) {
+        arena_advise_hugepages(slab_.get(), bytes_);
+      }
       std::memcpy(slab_.get(), other.slab_.get(), bytes_);
     }
   }

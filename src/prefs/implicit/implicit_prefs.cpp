@@ -1,0 +1,25 @@
+#include "prefs/implicit/implicit_prefs.hpp"
+
+namespace kstable::prefs::imp {
+
+const char* to_string(Family family) noexcept {
+  switch (family) {
+    case Family::uniform: return "uniform";
+    case Family::cyclic: return "cyclic";
+  }
+  return "unknown";
+}
+
+bool parse_family(std::string_view text, Family& out) noexcept {
+  if (text == "uniform") {
+    out = Family::uniform;
+    return true;
+  }
+  if (text == "cyclic") {
+    out = Family::cyclic;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace kstable::prefs::imp

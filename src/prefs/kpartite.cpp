@@ -19,6 +19,14 @@ void fill_all(T* data, std::size_t count, T value) {
 
 }  // namespace
 
+const char* to_string(PrefBackend backend) noexcept {
+  switch (backend) {
+    case PrefBackend::explicit_tables: return "explicit";
+    case PrefBackend::implicit_gen: return "implicit";
+  }
+  return "unknown";
+}
+
 KPartiteInstance::KPartiteInstance(Gender k, Index n)
     : KPartiteInstance(k, n, prefs::natural_rank_width(n)) {}
 
@@ -60,8 +68,77 @@ KPartiteInstance::KPartiteInstance(Gender k, Index n, prefs::RankWidth width)
   }
 }
 
+KPartiteInstance KPartiteInstance::make_implicit(Gender k, Index n,
+                                                 prefs::imp::ImplicitSpec spec) {
+  KSTABLE_REQUIRE(k >= 2, "need at least two genders, got k=" << k);
+  KSTABLE_REQUIRE(n >= 1, "need at least one member per gender, got n=" << n);
+  KPartiteInstance out;
+  out.k_ = k;
+  out.n_ = n;
+  out.backend_ = PrefBackend::implicit_gen;
+  out.implicit_ = prefs::imp::ImplicitPrefs(spec, k, n);
+  // No tables: cells_ stays 0 (pref_bytes/rank_bytes report the true
+  // footprint — nothing), the arena stays unallocated, and width_ records
+  // what natural_rank_width would pick so introspection stays meaningful.
+  out.width_ = prefs::natural_rank_width(n);
+  return out;
+}
+
+const prefs::imp::ImplicitPrefs& KPartiteInstance::implicit_prefs() const {
+  KSTABLE_REQUIRE(backend_ == PrefBackend::implicit_gen,
+                  "implicit_prefs() on an explicit-table instance");
+  return implicit_;
+}
+
+void KPartiteInstance::require_explicit(const char* op) const {
+  KSTABLE_REQUIRE(backend_ == PrefBackend::explicit_tables,
+                  op << ": this instance uses the implicit preference backend "
+                        "(no stored tables); use pref_at/rank_of, or "
+                        "materialized() for an explicit copy — "
+                        "docs/PERFORMANCE.md §Implicit preferences");
+}
+
+Index KPartiteInstance::raw_pref_at(MemberId m, Gender g,
+                                    Index r) const noexcept {
+  if (backend_ == PrefBackend::implicit_gen) {
+    return implicit_.pref(m, g, r);
+  }
+  return pref_data()[row_base(m, g) + static_cast<std::size_t>(r)];
+}
+
+Index KPartiteInstance::pref_at(MemberId m, Gender g, Index r) const {
+  check_member(m);
+  check_target(m, g);
+  KSTABLE_REQUIRE(r >= 0 && r < n_,
+                  "pref_at rank " << r << " out of range for n=" << n_);
+  const Index choice = raw_pref_at(m, g, r);
+  KSTABLE_REQUIRE(choice >= 0, "preference list of " << m << " over gender "
+                                                     << g << " is unset");
+  return choice;
+}
+
+KPartiteInstance KPartiteInstance::materialized(prefs::RankWidth width) const {
+  KPartiteInstance out(k_, n_, width);
+  std::vector<Index> order(static_cast<std::size_t>(n_));
+  for (Gender g = 0; g < k_; ++g) {
+    for (Index i = 0; i < n_; ++i) {
+      const MemberId m{g, i};
+      for (Gender h = 0; h < k_; ++h) {
+        if (h == g) continue;
+        for (Index r = 0; r < n_; ++r) {
+          order[static_cast<std::size_t>(r)] = pref_at(m, h, r);
+        }
+        out.set_pref_list(m, h, order);
+      }
+    }
+  }
+  out.generation_ = generation_;
+  return out;
+}
+
 KPartiteInstance KPartiteInstance::relaid(const KPartiteInstance& src,
                                           prefs::RankWidth width) {
+  src.require_explicit("relaid");
   KPartiteInstance out(src.k_, src.n_, width);
   // The pref carve is width-independent: copy it wholesale, then rebuild the
   // rank table row by row (set entries only — unset rows stay sentinel).
@@ -107,6 +184,7 @@ std::int32_t KPartiteInstance::raw_rank_at(std::size_t pos) const noexcept {
 }
 
 std::span<const Index> KPartiteInstance::pref_list(MemberId m, Gender g) const {
+  require_explicit("pref_list");
   check_member(m);
   check_target(m, g);
   return {pref_data() + row_base(m, g), static_cast<std::size_t>(n_)};
@@ -114,6 +192,7 @@ std::span<const Index> KPartiteInstance::pref_list(MemberId m, Gender g) const {
 
 void KPartiteInstance::set_pref_list(MemberId m, Gender g,
                                      std::span<const Index> order) {
+  require_explicit("set_pref_list");
   check_member(m);
   check_target(m, g);
   KSTABLE_REQUIRE(order.size() == static_cast<std::size_t>(n_),
@@ -150,6 +229,7 @@ void KPartiteInstance::set_pref_list(MemberId m, Gender g,
 
 void KPartiteInstance::swap_pref_entries(MemberId m, Gender g, Index rank_a,
                                          Index rank_b) {
+  require_explicit("swap_pref_entries");
   check_member(m);
   check_target(m, g);
   KSTABLE_REQUIRE(rank_a >= 0 && rank_a < n_ && rank_b >= 0 && rank_b < n_,
@@ -188,6 +268,10 @@ std::int32_t KPartiteInstance::rank_of(MemberId m, MemberId other) const {
   check_member(other);
   KSTABLE_REQUIRE(other.gender != m.gender,
                   "rank_of: " << other << " has the same gender as " << m);
+  if (backend_ == PrefBackend::implicit_gen) {
+    // O(1) on this backend too: the PRP inversion is the rank table.
+    return implicit_.rank(m, other.gender, other.index);
+  }
   const std::int32_t r = raw_rank_at(row_base(m, other.gender) +
                                      static_cast<std::size_t>(other.index));
   KSTABLE_REQUIRE(r >= 0, "preference list of " << m << " over gender "
@@ -202,6 +286,11 @@ bool KPartiteInstance::prefers(MemberId m, MemberId a, MemberId b) const {
 }
 
 void KPartiteInstance::validate() const {
+  if (backend_ == PrefBackend::implicit_gen) {
+    // Complete by construction: every list is a PRP (hence a permutation)
+    // of [0, n) — the bijectivity property test pins this.
+    return;
+  }
   for (Gender g = 0; g < k_; ++g) {
     for (Index i = 0; i < n_; ++i) {
       const MemberId m{g, i};
@@ -239,10 +328,34 @@ bool KPartiteInstance::is_complete() const noexcept {
 
 bool operator==(const KPartiteInstance& a, const KPartiteInstance& b) {
   if (a.k_ != b.k_ || a.n_ != b.n_) return false;
-  // The rank table is derived from the pref table, so pref equality is
-  // semantic equality; memcmp is sound because unset entries are a
-  // deterministic -1 fill.
-  return std::memcmp(a.pref_data(), b.pref_data(), a.pref_bytes()) == 0;
+  if (a.backend_ == PrefBackend::explicit_tables &&
+      b.backend_ == PrefBackend::explicit_tables) {
+    // The rank table is derived from the pref table, so pref equality is
+    // semantic equality; memcmp is sound because unset entries are a
+    // deterministic -1 fill.
+    return std::memcmp(a.pref_data(), b.pref_data(), a.pref_bytes()) == 0;
+  }
+  if (a.backend_ == PrefBackend::implicit_gen &&
+      b.backend_ == PrefBackend::implicit_gen &&
+      a.implicit_.spec() == b.implicit_.spec()) {
+    return true;  // same generator, same shape: identical lists in O(1)
+  }
+  // Cross-backend (or different implicit specs): element-wise semantic
+  // comparison. O(k·(k-1)·n²) evaluations — the DiffRunner/test sizes this
+  // path exists for are tiny.
+  for (Gender g = 0; g < a.k_; ++g) {
+    for (Index i = 0; i < a.n_; ++i) {
+      for (Gender h = 0; h < a.k_; ++h) {
+        if (h == g) continue;
+        for (Index r = 0; r < a.n_; ++r) {
+          if (a.raw_pref_at({g, i}, h, r) != b.raw_pref_at({g, i}, h, r)) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace kstable

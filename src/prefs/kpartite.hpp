@@ -34,8 +34,21 @@
 #include "prefs/arena.hpp"
 #include "prefs/compact_ranks.hpp"
 #include "prefs/ids.hpp"
+#include "prefs/implicit/implicit_prefs.hpp"
 
 namespace kstable {
+
+/// Where an instance's preference system lives
+/// (docs/PERFORMANCE.md §Implicit preferences):
+///   * explicit_tables — the arena-backed pref + rank tables above; O(k²n²)
+///     memory, O(1) lookups by load. Mutable (generation-counted).
+///   * implicit_gen    — a generator (prefs/implicit/): entries computed on
+///     demand from a seed, O(1) instance memory. Immutable by construction —
+///     mutators throw, generation() stays 0, so generation-bound caches work
+///     unchanged.
+enum class PrefBackend : std::uint8_t { explicit_tables, implicit_gen };
+
+[[nodiscard]] const char* to_string(PrefBackend backend) noexcept;
 
 /// A complete balanced k-partite preference instance.
 class KPartiteInstance {
@@ -53,9 +66,47 @@ class KPartiteInstance {
   KPartiteInstance(Gender k, Index n, prefs::RankWidth width);
 
   /// Copy of `src` re-laid with rank width `width` (same preference lists;
-  /// bitwise-identical solve results — the DiffRunner pins this).
+  /// bitwise-identical solve results — the DiffRunner pins this). Requires
+  /// the explicit backend (an implicit instance has no layout to re-lay; use
+  /// materialized() to build tables from it).
   static KPartiteInstance relaid(const KPartiteInstance& src,
                                  prefs::RankWidth width);
+
+  /// Creates an instance whose preference system is computed on demand from
+  /// `spec` (prefs/implicit/) instead of being stored: O(1) instance memory
+  /// at any n, which is what makes n >= 10^5 solvable at all (explicit
+  /// tables there are ~100 GB). The instance is complete by construction and
+  /// immutable: set_pref_list/swap_pref_entries throw, generation() stays 0.
+  /// Checked explicit-table accessors (pref_list, relaid) throw; the
+  /// unchecked hot-path ones (pref_row, rank_row, rank_base) must simply
+  /// never be called here — engines go through the PrefView dispatch
+  /// (prefs/implicit/pref_view.hpp), which only constructs an ExplicitView
+  /// for explicit instances, and everything rank-based (rank_of, prefers,
+  /// pref_at) works identically on both backends.
+  static KPartiteInstance make_implicit(Gender k, Index n,
+                                        prefs::imp::ImplicitSpec spec);
+
+  /// Which backend answers preference queries for this instance.
+  [[nodiscard]] PrefBackend backend() const noexcept { return backend_; }
+
+  /// The generator of an implicit instance. Requires backend() ==
+  /// implicit_gen (throws ContractViolation otherwise).
+  [[nodiscard]] const prefs::imp::ImplicitPrefs& implicit_prefs() const;
+
+  /// The r-th choice of member `m` over gender `g` (0 = most preferred), on
+  /// either backend: a table load when explicit, an O(1) PRP evaluation when
+  /// implicit. Checked; throws on an unset explicit entry.
+  [[nodiscard]] Index pref_at(MemberId m, Gender g, Index r) const;
+
+  /// Explicit-table copy of this instance (both backends): every list is
+  /// evaluated through pref_at and stored at rank width `width`. O(k·(k-1)·n²)
+  /// time and memory — small instances only; this is how the DiffRunner pins
+  /// implicit instances against the table engines bitwise. The copy inherits
+  /// generation() (0 for implicit sources), so caches treat it as equal.
+  [[nodiscard]] KPartiteInstance materialized(prefs::RankWidth width) const;
+  [[nodiscard]] KPartiteInstance materialized() const {
+    return materialized(prefs::natural_rank_width(n_));
+  }
 
   [[nodiscard]] Gender genders() const noexcept { return k_; }
   [[nodiscard]] Index per_gender() const noexcept { return n_; }
@@ -66,7 +117,8 @@ class KPartiteInstance {
   }
 
   /// Preference order of member `m` over gender `g` (best first); entries are
-  /// indices into gender `g`. Requires g != m.gender.
+  /// indices into gender `g`. Requires g != m.gender and the explicit
+  /// backend (implicit instances have no stored rows — use pref_at).
   [[nodiscard]] std::span<const Index> pref_list(MemberId m, Gender g) const;
 
   /// Overwrites the preference order of `m` over gender `g`. `order` must be
@@ -95,7 +147,10 @@ class KPartiteInstance {
   /// Rank of `other` in m's list for other.gender (0 = most preferred).
   [[nodiscard]] std::int32_t rank_of(MemberId m, MemberId other) const;
 
-  /// Unchecked row views for validated hot loops (the GS engines): one
+  /// Unchecked row views for validated hot loops (the GS engines). Explicit
+  /// backend only — the engines dispatch per backend through
+  /// prefs::with_pref_view, so these are never reached on an implicit
+  /// instance; other callers must check backend() first. One
   /// row_base computation buys the whole row, so a responder's accept/reject
   /// decision is two loads off rank_row and a compare. Callers must have
   /// range-checked (m, g) up front (the engines validate the gender pair once
@@ -173,6 +228,10 @@ class KPartiteInstance {
   friend bool operator==(const KPartiteInstance& a, const KPartiteInstance& b);
 
  private:
+  /// make_implicit builds instances member-by-member without the allocating
+  /// public constructors.
+  KPartiteInstance() = default;
+
   [[nodiscard]] Index* pref_data() noexcept {
     return arena_.at<Index>(pref_offset_);
   }
@@ -194,12 +253,20 @@ class KPartiteInstance {
   /// Stored rank at flat element position `pos`, sentinel included (-1 for
   /// "unset" regardless of width).
   [[nodiscard]] std::int32_t raw_rank_at(std::size_t pos) const noexcept;
+  /// The r-th choice on either backend without range checks; -1 for an unset
+  /// explicit entry (implicit entries are never unset).
+  [[nodiscard]] Index raw_pref_at(MemberId m, Gender g, Index r) const noexcept;
   void check_member(MemberId m) const;
   void check_target(MemberId m, Gender g) const;
+  /// Throws ContractViolation when `op` needs the explicit tables but the
+  /// backend is implicit.
+  void require_explicit(const char* op) const;
 
   Gender k_ = 0;
   Index n_ = 0;
   std::uint64_t generation_ = 0;
+  PrefBackend backend_ = PrefBackend::explicit_tables;
+  prefs::imp::ImplicitPrefs implicit_;  ///< engaged iff backend_ == implicit_gen
   prefs::RankWidth width_ = prefs::RankWidth::narrow16;
   std::size_t cells_ = 0;        ///< k·(k-1)·n·n used entries per table
   std::size_t pref_offset_ = 0;  ///< byte offset of the pref carve (0)

@@ -30,11 +30,16 @@ bool is_permutation_of_n(const std::vector<Index>& values, Index n) {
 
 std::int32_t scan_rank(const KPartiteInstance& inst, MemberId m,
                        MemberId target) {
-  const auto list = inst.pref_list(m, target.gender);
-  for (std::size_t r = 0; r < list.size(); ++r) {
-    if (list[r] == target.index) return static_cast<std::int32_t>(r);
+  // Walks the list entry by entry via pref_at, never rank_of: on the
+  // implicit backend this exercises the forward generator only, keeping the
+  // certificate independent of the inverse path it is checking.
+  const Index n = inst.per_gender();
+  for (Index r = 0; r < n; ++r) {
+    if (inst.pref_at(m, target.gender, r) == target.index) {
+      return static_cast<std::int32_t>(r);
+    }
   }
-  return inst.per_gender();  // absent: malformed list, treated as worst
+  return n;  // absent: malformed list, treated as worst
 }
 
 std::optional<CertFailure> check_gs_certificate(const KPartiteInstance& inst,

@@ -188,6 +188,175 @@ void layout_checks(const KPartiteInstance& inst, const Recorder& rec) {
                  "layout.width.prefetch.bitwise");
 }
 
+/// Implicit-backend cross-checks (docs/PERFORMANCE.md §Implicit
+/// preferences). An implicit instance derived from the battery's replay seed
+/// is materialized into explicit tables; the generator and the tables must
+/// then be indistinguishable to every consumer: bitwise-equal matchings,
+/// identical proposal counts AND identical proposal traces from every
+/// sequential engine (the strongest confluence pin: not just the same fixed
+/// point, the same path to it), rank_of inverting pref_at exactly, and the
+/// binding/ladder layers agreeing across backends. Runs for both generator
+/// families so the Feistel path and the closed-form path are each pinned.
+void implicit_checks(const Recorder& rec, const DiffOptions& options) {
+  const Gender k = rec.k;
+  const Index n = rec.n;
+  for (const auto family :
+       {prefs::imp::Family::uniform, prefs::imp::Family::cyclic}) {
+    // Derived seed: decoupled from the generator's own stream.
+    const prefs::imp::ImplicitSpec spec{family,
+                                        rec.seed ^ 0x8f1bbcdc9aab5a2dULL};
+    const auto implicit = KPartiteInstance::make_implicit(k, n, spec);
+    const char* fam = prefs::imp::to_string(family);
+
+    // Materialization doubles as the bijectivity certificate: set_pref_list
+    // rejects any row that is not a permutation, so a broken PRP cannot
+    // produce an explicit twin at all.
+    const auto wide = implicit.materialized(prefs::RankWidth::wide32);
+    rec.check(wide == implicit, "implicit.materialized.equal",
+              std::string("materialized explicit copy (") + fam +
+                  ") is not element-wise equal to its implicit source");
+
+    {  // pref_at and rank_of must be exact inverses on the generator.
+      bool inverse_ok = true;
+      std::ostringstream os;
+      for (Gender g = 0; inverse_ok && g < k; ++g) {
+        for (Index m = 0; inverse_ok && m < n; ++m) {
+          for (Gender h = 0; inverse_ok && h < k; ++h) {
+            if (h == g) continue;
+            for (Index r = 0; r < n; ++r) {
+              const Index p = implicit.pref_at({g, m}, h, r);
+              const std::int32_t back = implicit.rank_of({g, m}, {h, p});
+              if (back != static_cast<std::int32_t>(r)) {
+                os << fam << ": rank_of(pref_at(" << g << ',' << m << ','
+                   << h << ',' << r << ")=" << p << ") = " << back;
+                inverse_ok = false;
+                break;
+              }
+            }
+          }
+        }
+      }
+      rec.check(inverse_ok, "implicit.rank.inverse", os.str());
+    }
+
+    // Engine sweep over every ordered gender pair: queue-with-trace on the
+    // implicit instance vs queue-with-trace on the materialized twin, then
+    // every other engine on the implicit backend against that reference.
+    for (Gender i = 0; i < k; ++i) {
+      for (Gender j = 0; j < k; ++j) {
+        if (i == j) continue;
+        std::vector<gs::ProposalEvent> trace_imp;
+        std::vector<gs::ProposalEvent> trace_exp;
+        gs::GsOptions topt;
+        topt.trace = &trace_imp;
+        const auto reference = gs::gale_shapley_queue(implicit, i, j, topt);
+        topt.trace = &trace_exp;
+        const auto explicit_ref = gs::gale_shapley_queue(wide, i, j, topt);
+
+        auto compare = [&](const gs::GsResult& other, const char* id_bits,
+                           bool check_proposals, const char* id_props) {
+          const bool bits_ok =
+              other.proposer_match == reference.proposer_match &&
+              other.responder_match == reference.responder_match;
+          std::ostringstream os;
+          if (!bits_ok) {
+            os << fam << ": engine " << other.engine
+               << " diverges from the implicit queue reference on GS(" << i
+               << "," << j << "): "
+               << (other.proposer_match == reference.proposer_match
+                       ? describe_diff(reference.responder_match,
+                                       other.responder_match)
+                       : describe_diff(reference.proposer_match,
+                                       other.proposer_match));
+          }
+          rec.check(bits_ok, id_bits, os.str());
+          if (check_proposals) {
+            std::ostringstream ps;
+            ps << fam << ": GS(" << i << "," << j << "): implicit queue made "
+               << reference.proposals << " proposals, " << other.engine
+               << " made " << other.proposals;
+            rec.check(other.proposals == reference.proposals, id_props,
+                      ps.str());
+          }
+        };
+
+        compare(explicit_ref, "implicit.queue.bitwise", true,
+                "implicit.queue.proposals");
+        rec.check(trace_imp == trace_exp, "implicit.queue.trace",
+                  std::string(fam) +
+                      ": implicit and materialized queue solves emitted "
+                      "different proposal traces");
+        compare(gs::gale_shapley_rounds(implicit, i, j),
+                "implicit.rounds.bitwise", true, "implicit.rounds.proposals");
+        compare(gs::gale_shapley_prefetch(implicit, i, j),
+                "implicit.prefetch.bitwise", true,
+                "implicit.prefetch.proposals");
+        compare(gs::gale_shapley_scan(implicit, i, j),
+                "implicit.scan.bitwise", true, "implicit.scan.proposals");
+        compare(gs::gale_shapley_scan_simd(implicit, i, j),
+                "implicit.scan_simd.bitwise", true,
+                "implicit.scan_simd.proposals");
+        if (options.pool != nullptr) {
+          compare(gs::gale_shapley_parallel(implicit, i, j, *options.pool, 8),
+                  "implicit.parallel.bitwise", false, "");
+        }
+      }
+    }
+
+    if (n < 65536) {  // narrow16 twin: width stays a pure layout choice
+      const auto narrow = implicit.materialized(prefs::RankWidth::narrow16);
+      const auto a = gs::gale_shapley_queue(implicit, 0, 1);
+      const auto b = gs::gale_shapley_queue(narrow, 0, 1);
+      rec.check(a.proposer_match == b.proposer_match &&
+                    a.responder_match == b.responder_match &&
+                    a.proposals == b.proposals,
+                "implicit.narrow16.bitwise",
+                std::string(fam) +
+                    ": narrow16 materialization diverges from the implicit "
+                    "solve");
+    }
+
+    {  // Binding + ladder layers across backends.
+      const auto path = trees::path(k);
+      const auto bound_imp = core::iterative_binding(implicit, path);
+      const auto bound_exp = core::iterative_binding(wide, path);
+      std::ostringstream os;
+      if (!(bound_imp.matching() == bound_exp.matching())) {
+        os << fam << ": implicit binding diverges from materialized binding: "
+           << describe_diff(bound_exp.matching().raw(),
+                            bound_imp.matching().raw());
+      }
+      rec.check(bound_imp.matching() == bound_exp.matching(),
+                "implicit.binding.bitwise", os.str());
+      rec.cert(check_kary_certificate(implicit, bound_imp.matching(), path),
+               "implicit.binding.cert");
+
+      // Cached binding: the implicit instance's generation is fixed at 0, so
+      // the generation-bound cache must replay hits bitwise and for free.
+      core::GsEdgeCache cache(implicit);
+      core::BindingOptions copts;
+      copts.cache = &cache;
+      (void)core::iterative_binding(implicit, path, copts);
+      const auto replay = core::iterative_binding(implicit, path, copts);
+      std::ostringstream rs;
+      rs << fam << ": cached implicit replay executed "
+         << replay.executed_proposals << " proposals";
+      rec.check(replay.matching() == bound_imp.matching() &&
+                    replay.executed_proposals == 0,
+                "implicit.binding.cache.replay", rs.str());
+
+      resilience::FallbackOptions fopts;
+      const auto report = resilience::solve_with_fallback(implicit, fopts);
+      rec.check(report.succeeded &&
+                    report.matching() == bound_imp.matching(),
+                "implicit.ladder.bitwise",
+                std::string(fam) +
+                    ": fallback ladder on the implicit backend diverges from "
+                    "sequential binding");
+    }
+  }
+}
+
 /// Binding-layer cross-checks on the path tree: sequential Algorithm 1 is
 /// the reference; TreeSweep, both cache policies, a cached replay, and the
 /// fallback ladder must all reproduce its matching bitwise.
@@ -579,6 +748,7 @@ BatteryResult run_battery(const KPartiteInstance& inst, Shape shape,
   }
 
   layout_checks(inst, rec);
+  implicit_checks(rec, options);
   binding_checks(inst, rec, options);
   if (options.churn_steps > 0) churn_checks(inst, rec, options);
 

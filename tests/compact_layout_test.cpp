@@ -140,6 +140,26 @@ TEST(ArenaSizing, SlabIsExtentRoundedAndAligned) {
   EXPECT_EQ(prefs::round_up(0, 4096), 0u);
 }
 
+TEST(ArenaSizing, HugepageAdviceIsSafeOnAnySlab) {
+  // The KSTABLE_ARENA_HUGEPAGES env knob is latched process-wide at first
+  // allocation, so this exercises the advice path directly: madvise only
+  // touches the page-aligned interior of the 64-byte-aligned slab, ignores
+  // kernel refusal, and must leave the bytes untouched on every platform
+  // (non-Linux builds compile it to a no-op).
+  prefs::PrefArena arena(3 * prefs::kArenaExtentBytes + 7);
+  auto* p = arena.at<std::uint8_t>(0);
+  for (std::size_t i = 0; i < arena.capacity(); ++i) {
+    p[i] = static_cast<std::uint8_t>(i * 31 + 5);
+  }
+  prefs::arena_advise_hugepages(arena.at<std::byte>(0), arena.capacity());
+  for (std::size_t i = 0; i < arena.capacity(); ++i) {
+    ASSERT_EQ(p[i], static_cast<std::uint8_t>(i * 31 + 5));
+  }
+  // Sub-page slivers round to an empty interior range: still a no-op.
+  prefs::arena_advise_hugepages(arena.at<std::byte>(64), 128);
+  (void)prefs::arena_hugepages_requested();  // env latch is callable anywhere
+}
+
 TEST(ArenaSizing, CopyAndMovePreserveContents) {
   Rng rng(1201);
   const auto inst = gen::uniform(3, 12, rng);

@@ -115,6 +115,36 @@ TEST(GsWorkspace, PrefetchEngineZeroAllocationsWhenWarm) {
   }
 }
 
+TEST(GsWorkspace, ImplicitBackendZeroAllocationsWhenWarm) {
+  // The implicit backend must keep the engines' zero-allocation warm-path
+  // contract: generator evaluation is pure arithmetic, so a warm solve over
+  // a generator-backed instance heap-allocates exactly as much as one over
+  // arena tables — nothing.
+  const auto inst = KPartiteInstance::make_implicit(
+      3, 64, {prefs::imp::Family::uniform, 0x5eedULL});
+  GsWorkspace workspace;
+  GsResult result;
+  const GsOptions options;
+  gale_shapley_queue(inst, 0, 1, options, workspace, result);
+
+  for (const GenderEdge edge :
+       {GenderEdge{0, 1}, GenderEdge{1, 2}, GenderEdge{2, 0}}) {
+    std::int64_t allocs = allocations_during([&] {
+      gale_shapley_queue(inst, edge.a, edge.b, options, workspace, result);
+    });
+    EXPECT_EQ(allocs, 0) << "implicit GS(" << edge.a << ',' << edge.b
+                         << ") allocated";
+    allocs = allocations_during([&] {
+      gale_shapley_prefetch(inst, edge.a, edge.b, options, workspace, result);
+    });
+    EXPECT_EQ(allocs, 0) << "implicit prefetch GS(" << edge.a << ','
+                         << edge.b << ") allocated";
+    const auto expected = gale_shapley_queue(inst, edge.a, edge.b);
+    EXPECT_EQ(result.proposer_match, expected.proposer_match);
+    EXPECT_EQ(result.proposals, expected.proposals);
+  }
+}
+
 TEST(GsWorkspace, ArenaInstancesAllocateNothingPerSolve) {
   // The arena layout concentrates every byte of instance storage in one slab
   // carved at construction: a warm prefetch solve over a freshly *generated*
